@@ -1,0 +1,120 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the library:
+// estimator updates, the tuning formulas, event-queue churn, network send,
+// and a full Raft heartbeat round trip.
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "dynatune/loss_estimator.hpp"
+#include "dynatune/rtt_estimator.hpp"
+#include "dynatune/tuning.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace dyna;
+using namespace std::chrono_literals;
+
+void BM_RttEstimatorRecord(benchmark::State& state) {
+  dt::RttEstimator est(static_cast<std::size_t>(state.range(0)));
+  Rng rng(1);
+  for (auto _ : state) {
+    est.record(from_ms(100.0 + rng.normal(0.0, 5.0)));
+    benchmark::DoNotOptimize(est.count());
+  }
+}
+BENCHMARK(BM_RttEstimatorRecord)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_RttEstimatorStats(benchmark::State& state) {
+  dt::RttEstimator est(static_cast<std::size_t>(state.range(0)));
+  Rng rng(1);
+  for (int i = 0; i < state.range(0); ++i) est.record(from_ms(100.0 + rng.normal(0.0, 5.0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.mean_ms());
+    benchmark::DoNotOptimize(est.stddev_ms());
+  }
+}
+BENCHMARK(BM_RttEstimatorStats)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_LossEstimatorRecord(benchmark::State& state) {
+  dt::LossEstimator est(1000);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    est.record(++id);
+    benchmark::DoNotOptimize(est.loss_rate());
+  }
+}
+BENCHMARK(BM_LossEstimatorRecord);
+
+void BM_TuningFormulas(benchmark::State& state) {
+  dt::DynatuneConfig cfg;
+  double p = 0.0;
+  for (auto _ : state) {
+    p += 0.001;
+    if (p >= 0.9) p = 0.0;
+    const Duration et = dt::compute_election_timeout(100.0, 7.5, cfg);
+    const int k = dt::compute_k(p, cfg.delivery_target, cfg.min_heartbeats_per_timeout,
+                                cfg.max_heartbeats_per_timeout);
+    benchmark::DoNotOptimize(dt::compute_heartbeat_interval(et, k, cfg));
+  }
+}
+BENCHMARK(BM_TuningFormulas);
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  sim::Simulator sim;
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    sim.schedule_after(1ms, [&fired] { ++fired; });
+    sim.step();
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void BM_EventQueueDeepSchedule(benchmark::State& state) {
+  // Scheduling into a queue that already holds many pending events.
+  sim::Simulator sim;
+  for (int i = 0; i < state.range(0); ++i) {
+    sim.schedule_after(std::chrono::seconds(3600 + i), [] {});
+  }
+  for (auto _ : state) {
+    const auto id = sim.schedule_after(1h, [] {});
+    sim.cancel(id);
+  }
+}
+BENCHMARK(BM_EventQueueDeepSchedule)->Arg(1000)->Arg(100000);
+
+void BM_NetworkSendDeliver(benchmark::State& state) {
+  sim::Simulator sim;
+  net::Network net(sim, Rng(7));
+  std::uint64_t delivered = 0;
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node([&delivered](NodeId, const std::any&) { ++delivered; });
+  (void)a;
+  for (auto _ : state) {
+    net.send(0, b, std::any(std::uint64_t{42}), net::Transport::Datagram, 64);
+    sim.run_all();
+  }
+  benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_NetworkSendDeliver);
+
+void BM_ClusterHeartbeatSecond(benchmark::State& state) {
+  // One simulated second of idle 5-server cluster traffic (heartbeats,
+  // responses, timers) per iteration.
+  const bool dynatune = state.range(0) != 0;
+  cluster::ClusterConfig cfg = dynatune ? cluster::make_dynatune_config(5, 11)
+                                        : cluster::make_raft_config(5, 11);
+  cluster::Cluster c(std::move(cfg));
+  c.await_leader(30s);
+  for (auto _ : state) {
+    c.sim().run_for(1s);
+  }
+  state.SetLabel(dynatune ? "dynatune" : "raft");
+}
+BENCHMARK(BM_ClusterHeartbeatSecond)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

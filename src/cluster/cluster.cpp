@@ -1,0 +1,220 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+
+#include "dynatune/policy.hpp"
+#include "raft/storage.hpp"
+
+namespace dyna::cluster {
+
+Cluster::Cluster(ClusterConfig config) : cfg_(std::move(config)) {
+  DYNA_EXPECTS(cfg_.servers >= 1);
+  Rng master(cfg_.seed);
+
+  net_ = std::make_unique<net::Network>(sim_, master.fork(1), cfg_.transport);
+  net_->set_default_schedule(cfg_.links);
+
+  if (cfg_.perf_cost) {
+    perf_ = std::make_unique<PerfModel>(*cfg_.perf_cost, cfg_.perf_bin);
+  }
+
+  if (!cfg_.policy_factory) {
+    const Duration et = cfg_.raft.election_timeout;
+    const Duration h = cfg_.raft.heartbeat_interval;
+    cfg_.policy_factory = [et, h](NodeId) {
+      return std::make_unique<raft::StaticPolicy>(et, h);
+    };
+  }
+
+  storages_.resize(cfg_.servers);
+  state_machines_.resize(cfg_.servers);
+  nodes_.resize(cfg_.servers);
+  service_.resize(cfg_.servers);
+
+  for (std::size_t i = 0; i < cfg_.servers; ++i) {
+    const NodeId id = net_->add_node();  // ids 0..servers-1, in order
+    DYNA_ASSERT(id == static_cast<NodeId>(i));
+    if (cfg_.durable_log) {
+      storages_[i] = std::make_shared<raft::MemoryStorage>();
+    } else {
+      storages_[i] = std::make_shared<raft::NullStorage>();
+    }
+    service_[i] = std::make_unique<ServiceQueue>(sim_);
+  }
+  for (std::size_t i = 0; i < cfg_.servers; ++i) {
+    build_node(static_cast<NodeId>(i));
+  }
+}
+
+std::vector<NodeId> Cluster::server_ids() const {
+  std::vector<NodeId> ids(cfg_.servers);
+  for (std::size_t i = 0; i < cfg_.servers; ++i) ids[i] = static_cast<NodeId>(i);
+  return ids;
+}
+
+void Cluster::build_node(NodeId id) {
+  const auto idx = static_cast<std::size_t>(id);
+  std::vector<NodeId> peers;
+  for (std::size_t p = 0; p < cfg_.servers; ++p) {
+    if (static_cast<NodeId>(p) != id) peers.push_back(static_cast<NodeId>(p));
+  }
+
+  // Fresh state machine: recovery replays the durable log from scratch.
+  state_machines_[idx] = std::make_unique<kv::KvStateMachine>();
+
+  Rng node_rng(derive_seed(cfg_.seed, 0x1000 + static_cast<std::uint64_t>(id)));
+  auto node = std::make_unique<raft::RaftNode>(id, std::move(peers), sim_, *net_, cfg_.raft,
+                                               storages_[idx], cfg_.policy_factory(id),
+                                               std::move(node_rng));
+  node->set_apply([this, idx](const raft::LogEntry& entry) {
+    return state_machines_[idx]->apply(entry.command.payload);
+  });
+  node->add_observer(&probe_);
+  if (perf_) node->add_observer(perf_.get());
+  for (raft::Observer* o : cfg_.observers) node->add_observer(o);
+  nodes_[idx] = std::move(node);
+
+  net_->set_handler(id, [this, id, idx](NodeId from, const std::any& payload) {
+    raft::RaftNode* n = nodes_[idx].get();
+    if (n == nullptr || !n->running()) return;
+    const auto* msg = std::any_cast<raft::Message>(&payload);
+    if (msg == nullptr) return;
+    if (cfg_.request_service_time > Duration{0} &&
+        std::holds_alternative<raft::ClientRequest>(*msg)) {
+      // Client requests pass through the CPU before reaching consensus.
+      service_[idx]->enqueue(service_time_for(id), [this, idx, from, m = *msg] {
+        raft::RaftNode* alive = nodes_[idx].get();
+        if (alive != nullptr && alive->running()) alive->handle_message(from, m);
+      });
+      return;
+    }
+    n->handle_message(from, *msg);
+  });
+
+  nodes_[idx]->start();
+}
+
+Duration Cluster::service_time_for(NodeId /*id*/) const { return cfg_.request_service_time; }
+
+raft::RaftNode& Cluster::node(NodeId id) {
+  auto* n = node_if_alive(id);
+  DYNA_EXPECTS(n != nullptr);
+  return *n;
+}
+
+raft::RaftNode* Cluster::node_if_alive(NodeId id) {
+  DYNA_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+  return nodes_[static_cast<std::size_t>(id)].get();
+}
+
+kv::KvStateMachine& Cluster::state_machine(NodeId id) {
+  DYNA_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < state_machines_.size());
+  return *state_machines_[static_cast<std::size_t>(id)];
+}
+
+NodeId Cluster::current_leader() const {
+  NodeId best = kNoNode;
+  raft::Term best_term = 0;
+  for (const auto& n : nodes_) {
+    if (n && n->running() && n->is_leader() && n->term() >= best_term) {
+      best = n->id();
+      best_term = n->term();
+    }
+  }
+  return best;
+}
+
+bool Cluster::await_leader(Duration timeout) {
+  const TimePoint deadline = sim_.now() + timeout;
+  while (sim_.now() < deadline) {
+    if (current_leader() != kNoNode) return true;
+    sim_.run_for(std::chrono::milliseconds(10));
+  }
+  return current_leader() != kNoNode;
+}
+
+Duration Cluster::randomized_timeout_kth(std::size_t k) const {
+  DYNA_EXPECTS(k >= 1 && k <= cfg_.servers);
+  std::vector<Duration> values;
+  values.reserve(cfg_.servers);
+  for (const auto& n : nodes_) {
+    if (n && n->running()) {
+      values.push_back(n->randomized_timeout());
+    } else {
+      values.push_back(Duration::max());
+    }
+  }
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   values.end());
+  return values[k - 1];
+}
+
+void Cluster::pause(NodeId id) {
+  node(id).pause();
+  net_->set_paused(id, true);
+}
+
+void Cluster::resume(NodeId id) {
+  net_->set_paused(id, false);
+  node(id).resume();
+}
+
+void Cluster::crash(NodeId id) {
+  const auto idx = static_cast<std::size_t>(id);
+  DYNA_EXPECTS(idx < nodes_.size());
+  if (nodes_[idx]) {
+    nodes_[idx]->stop();
+    nodes_[idx].reset();
+  }
+  net_->set_paused(id, false);  // a dead endpoint just drops traffic
+}
+
+void Cluster::restart(NodeId id) {
+  const auto idx = static_cast<std::size_t>(id);
+  DYNA_EXPECTS(idx < nodes_.size());
+  DYNA_EXPECTS(nodes_[idx] == nullptr);
+  build_node(id);
+}
+
+// ---- Variant factories --------------------------------------------------------------
+
+ClusterConfig make_raft_config(std::size_t servers, std::uint64_t seed) {
+  ClusterConfig c;
+  c.servers = servers;
+  c.seed = seed;
+  c.raft = raft::RaftConfig::etcd_default();
+  c.name = "Raft";
+  return c;
+}
+
+ClusterConfig make_raft_low_config(std::size_t servers, std::uint64_t seed) {
+  ClusterConfig c;
+  c.servers = servers;
+  c.seed = seed;
+  c.raft = raft::RaftConfig::raft_low();
+  c.name = "Raft-Low";
+  return c;
+}
+
+ClusterConfig make_dynatune_config(std::size_t servers, std::uint64_t seed,
+                                   dt::DynatuneConfig dt) {
+  ClusterConfig c;
+  c.servers = servers;
+  c.seed = seed;
+  c.raft = raft::RaftConfig::dynatune();
+  c.raft.election_timeout = dt.default_election_timeout;
+  c.raft.heartbeat_interval = dt.default_heartbeat;
+  c.policy_factory = [dt](NodeId) { return std::make_unique<dt::DynatunePolicy>(dt); };
+  c.name = "Dynatune";
+  return c;
+}
+
+ClusterConfig make_fixk_config(std::size_t servers, std::uint64_t seed, int k,
+                               dt::DynatuneConfig dt) {
+  dt.fixed_k = k;
+  ClusterConfig c = make_dynatune_config(servers, seed, dt);
+  c.name = "Fix-K";
+  return c;
+}
+
+}  // namespace dyna::cluster

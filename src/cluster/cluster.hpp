@@ -1,0 +1,138 @@
+// Cluster harness: builds an N-server replicated KV service over the
+// simulated network, wires probes/perf models, and exposes fault injection.
+//
+// One Cluster == one running deployment inside one Simulator. The three
+// paper variants are constructed through the named factories at the bottom.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/perf_model.hpp"
+#include "cluster/probe.hpp"
+#include "cluster/service_queue.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "dynatune/config.hpp"
+#include "kvstore/state_machine.hpp"
+#include "net/network.hpp"
+#include "raft/config.hpp"
+#include "raft/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace dyna::cluster {
+
+struct ClusterConfig {
+  std::size_t servers = 5;
+  std::uint64_t seed = 42;
+
+  raft::RaftConfig raft = raft::RaftConfig::etcd_default();
+
+  /// Election policy per node; defaults to StaticPolicy(raft.election_timeout,
+  /// raft.heartbeat_interval). Dynatune variants install DynatunePolicy here.
+  std::function<std::unique_ptr<raft::ElectionPolicy>(NodeId)> policy_factory;
+
+  /// Default link schedule applied to every pair (fluctuation experiments
+  /// replace this); per-pair overrides go through network() after build.
+  net::ConditionSchedule links =
+      net::ConditionSchedule::constant(net::LinkCondition{});
+
+  /// Transport/stall knobs (retransmit model, CPU-contention stalls).
+  net::Network::Config transport{};
+
+  /// When > 0, client requests pass through a per-server FIFO CPU with this
+  /// service time before reaching Raft (throughput experiments).
+  Duration request_service_time{0};
+
+  /// Use durable per-server log storage (required for crash/restart tests).
+  /// Throughput benchmarks disable it to halve memory use.
+  bool durable_log = true;
+
+  /// CPU accounting (Fig 7b); disabled by default to keep hot paths lean.
+  std::optional<CostModel> perf_cost;
+  Duration perf_bin = std::chrono::seconds(5);
+
+  /// Additional observers attached to every node (and re-attached across
+  /// restarts). Non-owning; must outlive the cluster.
+  std::vector<raft::Observer*> observers;
+
+  std::string name = "cluster";
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // ---- Accessors ----
+  [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] net::Network& network() noexcept { return *net_; }
+  [[nodiscard]] Probe& probe() noexcept { return probe_; }
+  [[nodiscard]] PerfModel* perf() noexcept { return perf_.get(); }
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::size_t size() const noexcept { return cfg_.servers; }
+  [[nodiscard]] std::vector<NodeId> server_ids() const;
+
+  /// The node object (must currently exist — i.e. not crashed).
+  [[nodiscard]] raft::RaftNode& node(NodeId id);
+  [[nodiscard]] raft::RaftNode* node_if_alive(NodeId id);
+  [[nodiscard]] kv::KvStateMachine& state_machine(NodeId id);
+
+  /// Highest-term live leader, or kNoNode.
+  [[nodiscard]] NodeId current_leader() const;
+
+  /// Advance simulation until a leader exists (true) or `timeout` elapses.
+  bool await_leader(Duration timeout);
+
+  /// k-th smallest current randomizedTimeout across servers (1-based k).
+  /// Crashed/paused servers count as +infinity. This is Fig 6's metric.
+  [[nodiscard]] Duration randomized_timeout_kth(std::size_t k) const;
+
+  // ---- Fault injection ----
+  void pause(NodeId id);    ///< freeze node + its network endpoint
+  void resume(NodeId id);
+  void crash(NodeId id);    ///< lose volatile state; storage survives
+  void restart(NodeId id);  ///< rebuild node + state machine from storage
+
+  /// Fork an independent RNG stream for drivers built on this cluster.
+  [[nodiscard]] Rng fork_rng(std::uint64_t stream) {
+    return Rng(derive_seed(cfg_.seed, 0xC0FFEE ^ stream));
+  }
+
+ private:
+  void build_node(NodeId id);
+  [[nodiscard]] Duration service_time_for(NodeId id) const;
+
+  ClusterConfig cfg_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> net_;
+  Probe probe_;
+  std::unique_ptr<PerfModel> perf_;
+  std::vector<std::shared_ptr<raft::Storage>> storages_;
+  std::vector<std::unique_ptr<kv::KvStateMachine>> state_machines_;
+  std::vector<std::unique_ptr<raft::RaftNode>> nodes_;
+  std::vector<std::unique_ptr<ServiceQueue>> service_;
+};
+
+// ---- Variant factories (paper §IV-A settings) -----------------------------------
+
+/// Baseline "Raft": etcd defaults (Et 1000 ms, h 100 ms), static policy.
+[[nodiscard]] ClusterConfig make_raft_config(std::size_t servers, std::uint64_t seed);
+
+/// "Raft-Low": parameters at 1/10 of the defaults.
+[[nodiscard]] ClusterConfig make_raft_low_config(std::size_t servers, std::uint64_t seed);
+
+/// "Dynatune": measurement + per-path tuning with the given knobs.
+[[nodiscard]] ClusterConfig make_dynatune_config(std::size_t servers, std::uint64_t seed,
+                                                 dt::DynatuneConfig dt = {});
+
+/// "Fix-K": Dynatune with h-tuning disabled, K pinned (paper: 10).
+[[nodiscard]] ClusterConfig make_fixk_config(std::size_t servers, std::uint64_t seed,
+                                             int k = 10, dt::DynatuneConfig dt = {});
+
+}  // namespace dyna::cluster

@@ -1,0 +1,110 @@
+#include "cluster/experiment.hpp"
+
+#include "common/stats.hpp"
+
+namespace dyna::cluster {
+
+using namespace std::chrono_literals;
+
+std::vector<FailoverSample> FailoverExperiment::run(Cluster& cluster, FailoverOptions opt) {
+  std::vector<FailoverSample> samples;
+  samples.reserve(opt.kills);
+
+  // Multi-machine measurement noise (AWS experiment): each server's log
+  // timestamps carry a fixed NTP offset.
+  if (opt.clock_skew_ms) {
+    Rng skew_rng = cluster.fork_rng(0x5C1E);
+    for (const NodeId id : cluster.server_ids()) {
+      cluster.probe().set_clock_offset(id, from_ms(skew_rng.normal(0.0, *opt.clock_skew_ms)));
+    }
+  }
+
+  for (std::size_t kill = 0; kill < opt.kills; ++kill) {
+    FailoverSample sample;
+
+    if (!cluster.await_leader(opt.max_wait)) {
+      samples.push_back(sample);  // ok == false
+      continue;
+    }
+    cluster.sim().run_for(opt.settle);
+    const NodeId leader = cluster.current_leader();
+    if (leader == kNoNode) {
+      samples.push_back(sample);
+      continue;
+    }
+
+    // Mean randomizedTimeout across the followers just before the kill
+    // (the §IV-B1 telemetry: 1454 ms for Raft vs 152 ms for Dynatune; the
+    // leader is excluded — its stale draw never gates failure detection).
+    {
+      Welford w;
+      for (const NodeId id : cluster.server_ids()) {
+        if (id == leader) continue;
+        if (auto* n = cluster.node_if_alive(id); n != nullptr && n->running()) {
+          w.add(to_ms(n->randomized_timeout()));
+        }
+      }
+      sample.mean_randomized_ms = w.mean();
+    }
+
+    const TimePoint t_kill = cluster.sim().now();
+    cluster.pause(leader);
+
+    // Advance until a successor emerges.
+    const TimePoint deadline = t_kill + opt.max_wait;
+    std::optional<Probe::LeaderEvent> new_leader;
+    while (cluster.sim().now() < deadline) {
+      new_leader = cluster.probe().first_leader_after(t_kill, /*exclude=*/leader);
+      if (new_leader) break;
+      cluster.sim().run_for(5ms);
+    }
+
+    const auto detection = cluster.probe().first_timeout_after(t_kill);
+    if (new_leader && detection) {
+      sample.detection_ms = to_ms(detection->when - t_kill);
+      sample.ots_ms = to_ms(new_leader->when - t_kill);
+      sample.election_ms = sample.ots_ms - sample.detection_ms;
+      sample.ok = true;
+    }
+    samples.push_back(sample);
+
+    cluster.sim().run_for(opt.resume_delay);
+    cluster.resume(leader);
+  }
+  return samples;
+}
+
+bool service_available(Cluster& cluster) {
+  raft::Term max_term = 0;
+  for (const NodeId id : cluster.server_ids()) {
+    if (auto* n = cluster.node_if_alive(id); n != nullptr && n->running()) {
+      max_term = std::max(max_term, n->term());
+    }
+  }
+  for (const NodeId id : cluster.server_ids()) {
+    if (auto* n = cluster.node_if_alive(id);
+        n != nullptr && n->running() && n->is_leader() && n->term() == max_term) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<TimelinePoint> run_randomized_timeline(Cluster& cluster, TimelineOptions opt) {
+  std::vector<TimelinePoint> points;
+  const auto total = static_cast<std::size_t>(opt.duration.count() / opt.sample_every.count());
+  points.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    cluster.sim().run_for(opt.sample_every);
+    TimelinePoint p;
+    p.t_sec = to_sec(cluster.sim().now());
+    const Duration kth = cluster.randomized_timeout_kth(opt.kth);
+    p.randomized_kth_ms = kth == Duration::max() ? -1.0 : to_ms(kth);
+    p.rtt_ms = to_ms(cluster.network().condition(0, 1).rtt);
+    p.ots = !service_available(cluster);
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace dyna::cluster

@@ -1,0 +1,67 @@
+// Experiment drivers shared by benches, tests and examples.
+//
+// FailoverExperiment reproduces the paper's §IV-B1 procedure: repeatedly
+// freeze the leader ("container sleep"), read detection / OTS instants from
+// the probe's event stream, revive, repeat. The RTT-fluctuation timeline
+// reproduces §IV-C1's per-second sampling of the f+1-smallest
+// randomizedTimeout and the OTS shading.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/types.hpp"
+
+namespace dyna::cluster {
+
+struct FailoverSample {
+  double detection_ms = 0.0;        ///< kill -> first election-timer expiry
+  double ots_ms = 0.0;              ///< kill -> new leader established
+  double election_ms = 0.0;         ///< ots - detection
+  double mean_randomized_ms = 0.0;  ///< mean randomizedTimeout across servers at kill
+  bool ok = false;
+};
+
+struct FailoverOptions {
+  std::size_t kills = 50;
+  /// Stabilization time before each kill (lets Dynatune warm up / retune).
+  Duration settle = std::chrono::seconds(10);
+  /// Give-up horizon per kill.
+  Duration max_wait = std::chrono::seconds(60);
+  /// Old leader revives this long after the new leader appears.
+  Duration resume_delay = std::chrono::seconds(2);
+  /// Per-node clock offset stddev (ms) applied to probe timestamps — models
+  /// the NTP error of the multi-machine AWS experiment. nullopt = one clock.
+  std::optional<double> clock_skew_ms;
+};
+
+class FailoverExperiment {
+ public:
+  /// Run `opt.kills` sequential leader kills on the cluster.
+  [[nodiscard]] static std::vector<FailoverSample> run(Cluster& cluster, FailoverOptions opt);
+};
+
+// ---- Fluctuation timeline (Fig 6) -------------------------------------------------
+
+struct TimelinePoint {
+  double t_sec = 0.0;
+  double randomized_kth_ms = 0.0;  ///< k-th smallest randomizedTimeout
+  double rtt_ms = 0.0;             ///< link RTT in force at sample time
+  bool ots = false;                ///< no functioning leader at sample time
+};
+
+struct TimelineOptions {
+  Duration duration = std::chrono::seconds(120);
+  Duration sample_every = std::chrono::seconds(1);
+  std::size_t kth = 3;  ///< f+1 for n=5 (the pre-vote majority threshold)
+};
+
+/// True when some live node leads at the cluster's maximum term — i.e. the
+/// service can commit. The complement is the paper's OTS shading.
+[[nodiscard]] bool service_available(Cluster& cluster);
+
+[[nodiscard]] std::vector<TimelinePoint> run_randomized_timeline(Cluster& cluster,
+                                                                 TimelineOptions opt);
+
+}  // namespace dyna::cluster

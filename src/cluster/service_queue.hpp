@@ -1,0 +1,53 @@
+// Analytic FIFO CPU server for the client-request path (Fig 5's saturation
+// mechanism).
+//
+// The leader's request pipeline is modelled as a single FIFO server: each
+// admitted request occupies the server for its service time; completion
+// callbacks fire in order at the computed finish instants. Open-loop load
+// beyond 1/service_time therefore builds a genuine backlog, which is what
+// bends the latency curve and pins peak throughput.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace dyna::cluster {
+
+class ServiceQueue {
+ public:
+  explicit ServiceQueue(sim::Simulator& simulator) : sim_(&simulator) {}
+
+  /// Admit one job; `done` fires when its service completes.
+  void enqueue(Duration service_time, std::function<void()> done) {
+    DYNA_EXPECTS(service_time >= Duration{0});
+    const TimePoint start = std::max(sim_->now(), next_free_);
+    next_free_ = start + service_time;
+    ++admitted_;
+    sim_->schedule_at(next_free_, [this, done = std::move(done)] {
+      ++completed_;
+      done();
+    });
+  }
+
+  /// Current backlog delay a newly admitted job would see.
+  [[nodiscard]] Duration backlog() const noexcept {
+    const TimePoint now = sim_->now();
+    return next_free_ > now ? next_free_ - now : Duration{0};
+  }
+
+  [[nodiscard]] std::uint64_t admitted() const noexcept { return admitted_; }
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+
+ private:
+  sim::Simulator* sim_;
+  TimePoint next_free_ = kSimEpoch;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace dyna::cluster

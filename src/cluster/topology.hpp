@@ -1,0 +1,67 @@
+// WAN topologies: per-pair link conditions for geo-replicated clusters.
+//
+// The AWS five-region matrix below substitutes for the paper's real
+// deployment (§IV-D: m5.large in Tokyo, London, California, Sydney,
+// São Paulo). Values are representative public inter-region RTT medians
+// (ms); the heterogeneous geometry — near pairs ~105 ms, far pairs ~310 ms —
+// is what drives the experiment, not the exact third digit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "net/condition.hpp"
+#include "net/network.hpp"
+
+namespace dyna::cluster {
+
+using namespace std::chrono_literals;
+
+struct WanTopology {
+  std::vector<std::string> region_names;
+  /// Symmetric RTT matrix, indexed by server position (diagonal unused).
+  std::vector<std::vector<Duration>> rtt;
+  /// One-way delay jitter as a fraction of the link RTT (WAN paths wobble
+  /// roughly proportionally to their length).
+  double jitter_fraction = 0.02;
+  /// Steady-state packet loss on every link.
+  double loss = 0.0001;
+
+  [[nodiscard]] std::size_t size() const noexcept { return region_names.size(); }
+
+  /// Install per-pair schedules on the network for servers [0, size).
+  void apply(net::Network& network) const {
+    DYNA_EXPECTS(rtt.size() == size());
+    for (std::size_t a = 0; a < size(); ++a) {
+      DYNA_EXPECTS(rtt[a].size() == size());
+      for (std::size_t b = a + 1; b < size(); ++b) {
+        net::LinkCondition cond;
+        cond.rtt = rtt[a][b];
+        cond.jitter = from_ms(to_ms(rtt[a][b]) * jitter_fraction);
+        cond.loss = loss;
+        network.set_path_schedule(static_cast<NodeId>(a), static_cast<NodeId>(b),
+                                  net::ConditionSchedule::constant(cond));
+      }
+    }
+  }
+
+  /// The paper's real-world deployment: five AWS regions.
+  [[nodiscard]] static WanTopology aws_five_regions() {
+    WanTopology t;
+    t.region_names = {"tokyo", "london", "california", "sydney", "sao-paulo"};
+    const auto ms = [](int v) { return Duration(std::chrono::milliseconds(v)); };
+    // Symmetric matrix; representative public inter-region medians.
+    t.rtt = {
+        {ms(0), ms(210), ms(110), ms(105), ms(255)},   // tokyo
+        {ms(210), ms(0), ms(140), ms(270), ms(190)},   // london
+        {ms(110), ms(140), ms(0), ms(140), ms(175)},   // california
+        {ms(105), ms(270), ms(140), ms(0), ms(310)},   // sydney
+        {ms(255), ms(190), ms(175), ms(310), ms(0)},   // sao-paulo
+    };
+    return t;
+  }
+};
+
+}  // namespace dyna::cluster

@@ -1,0 +1,32 @@
+// Lightweight contract checks (Expects/Ensures in the Core Guidelines sense).
+//
+// DYNA_EXPECTS / DYNA_ENSURES document pre/postconditions and abort with a
+// message on violation. They stay enabled in all build types: this library is
+// a measurement instrument, and a silently-corrupted invariant would poison
+// every experiment built on top of it.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dyna::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr, const char* file,
+                                          int line) {
+  std::fprintf(stderr, "dynatune: %s violated: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace dyna::detail
+
+#define DYNA_EXPECTS(cond)                                                        \
+  ((cond) ? static_cast<void>(0)                                                  \
+          : ::dyna::detail::contract_failure("precondition", #cond, __FILE__, __LINE__))
+
+#define DYNA_ENSURES(cond)                                                        \
+  ((cond) ? static_cast<void>(0)                                                  \
+          : ::dyna::detail::contract_failure("postcondition", #cond, __FILE__, __LINE__))
+
+#define DYNA_ASSERT(cond)                                                         \
+  ((cond) ? static_cast<void>(0)                                                  \
+          : ::dyna::detail::contract_failure("invariant", #cond, __FILE__, __LINE__))

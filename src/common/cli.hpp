@@ -1,0 +1,75 @@
+// Tiny `--key=value` command-line parser shared by benches and examples.
+//
+// Deliberately minimal: experiments need a handful of overridable knobs
+// (seed, trial count, output path), not a full CLI framework.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dyna {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg(argv[i]);
+      if (arg.rfind("--", 0) != 0) continue;
+      arg.remove_prefix(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        kv_[std::string(arg)] = "true";
+      } else {
+        kv_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      }
+    }
+    if (const char* scale = std::getenv("DYNA_BENCH_SCALE")) {
+      scale_ = std::strtod(scale, nullptr);
+      if (scale_ <= 0.0) scale_ = 1.0;
+    }
+  }
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::string get_or(const std::string& key, std::string def) const {
+    return get(key).value_or(std::move(def));
+  }
+
+  [[nodiscard]] std::int64_t get_or(const std::string& key, std::int64_t def) const {
+    const auto v = get(key);
+    return v ? std::strtoll(v->c_str(), nullptr, 10) : def;
+  }
+
+  [[nodiscard]] double get_or(const std::string& key, double def) const {
+    const auto v = get(key);
+    return v ? std::strtod(v->c_str(), nullptr) : def;
+  }
+
+  [[nodiscard]] bool flag(const std::string& key) const {
+    const auto v = get(key);
+    return v && *v != "false" && *v != "0";
+  }
+
+  /// DYNA_BENCH_SCALE multiplier for trial counts / durations (default 1).
+  [[nodiscard]] double bench_scale() const noexcept { return scale_; }
+
+  /// Scale an integer knob by DYNA_BENCH_SCALE, keeping it >= 1.
+  [[nodiscard]] std::int64_t scaled(std::int64_t base) const {
+    const auto v = static_cast<std::int64_t>(static_cast<double>(base) * scale_);
+    return v > 0 ? v : 1;
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  double scale_ = 1.0;
+};
+
+}  // namespace dyna

@@ -1,0 +1,66 @@
+// Minimal CSV writer for benchmark output.
+//
+// Every bench binary can dump the exact series it prints as CSV so figures
+// can be re-plotted outside the repo. Quoting handles the few string cells we
+// emit (variant names); numbers are written with full precision.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dyna {
+
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> header) : out_(path) {
+    DYNA_EXPECTS(out_.good());
+    columns_ = header.size();
+    write_row_impl(header);
+  }
+
+  /// Append one row; cell count must match the header.
+  void row(const std::vector<std::string>& cells) {
+    DYNA_EXPECTS(cells.size() == columns_);
+    write_row_impl(cells);
+  }
+
+  [[nodiscard]] static std::string cell(double v) {
+    std::ostringstream os;
+    os.precision(12);
+    os << v;
+    return os.str();
+  }
+
+  [[nodiscard]] static std::string cell(std::string_view v) { return std::string(v); }
+
+ private:
+  void write_row_impl(const std::vector<std::string>& cells) {
+    bool first = true;
+    for (const auto& c : cells) {
+      if (!first) out_ << ',';
+      first = false;
+      if (c.find_first_of(",\"\n") != std::string::npos) {
+        out_ << '"';
+        for (char ch : c) {
+          if (ch == '"') out_ << '"';
+          out_ << ch;
+        }
+        out_ << '"';
+      } else {
+        out_ << c;
+      }
+    }
+    out_ << '\n';
+  }
+
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace dyna

@@ -1,0 +1,157 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (link delay sampling, election-timeout
+// randomization, workload arrivals, nemesis schedules) owns its own generator
+// seeded from a single experiment seed via SplitMix64 stream derivation, so:
+//   * a trial is reproducible from one 64-bit seed,
+//   * adding RNG consumers does not perturb unrelated streams,
+//   * trials run in parallel without sharing generator state.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace dyna {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer. Used both as a stream
+/// deriver (seed -> per-component seeds) and to bootstrap xoshiro state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Derive an independent child seed from (parent seed, stream id). Streams
+/// with distinct ids are statistically independent.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) noexcept {
+  SplitMix64 mix(seed ^ (0xa0761d6478bd642fULL * (stream + 1)));
+  mix.next();
+  return mix.next();
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — fast, 256-bit state, passes BigCrush.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 mix(seed);
+    for (auto& word : state_) word = mix.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Convenience wrapper bundling a generator with the distributions the
+/// simulator needs. All sampling goes through here so components never
+/// hand-roll float conversions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : gen_(seed) {}
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    // 53 random mantissa bits -> uniform double in [0,1).
+    return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    DYNA_EXPECTS(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) noexcept {
+    DYNA_EXPECTS(n > 0);
+    // Lemire's multiply-shift rejection method: unbiased, one division at most.
+    std::uint64_t x = gen_();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0ULL - n) % n;
+      while (lo < threshold) {
+        x = gen_();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Standard normal via Box-Muller (no cached spare: keeps the stream
+  /// position a pure function of draw count).
+  [[nodiscard]] double normal() noexcept {
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  [[nodiscard]] double normal(double mean, double stddev) noexcept {
+    DYNA_EXPECTS(stddev >= 0.0);
+    return mean + stddev * normal();
+  }
+
+  /// Exponential with the given rate (events per unit); used for Poisson
+  /// arrival processes.
+  [[nodiscard]] double exponential(double rate) noexcept {
+    DYNA_EXPECTS(rate > 0.0);
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    return -std::log(u) / rate;
+  }
+
+  /// Raw 64 random bits.
+  [[nodiscard]] std::uint64_t bits() noexcept { return gen_(); }
+
+  /// Independent child RNG for a named sub-stream.
+  [[nodiscard]] Rng fork(std::uint64_t stream) noexcept {
+    return Rng(derive_seed(gen_(), stream));
+  }
+
+ private:
+  Xoshiro256 gen_;
+};
+
+}  // namespace dyna

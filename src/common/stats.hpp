@@ -1,0 +1,144 @@
+// Streaming and windowed statistics used across the library.
+//
+// The Dynatune RTT estimator needs mean/stddev over a bounded sliding window
+// (the paper's RTTs list with minListSize/maxListSize); experiment drivers
+// need summary statistics (mean, percentiles) over sample sets. Both live
+// here so the math is tested once.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dyna {
+
+/// Welford's online algorithm: numerically stable streaming mean/variance.
+class Welford {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+
+  /// Population variance (the paper's sigma is a descriptive statistic of the
+  /// collected window, not an unbiased estimator of an infinite population).
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+  void reset() noexcept { *this = Welford{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Fixed-capacity sliding window of doubles with stable mean/stddev.
+///
+/// add() drops the oldest value once `capacity` is reached (the paper's
+/// maxListSize behaviour). Statistics are recomputed with Welford over the
+/// window on demand: the window is small (<= ~1000) and correctness beats
+/// micro-optimization in a measurement pipeline.
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity) : capacity_(capacity) {
+    DYNA_EXPECTS(capacity > 0);
+    buf_.reserve(capacity);
+  }
+
+  void add(double x) {
+    if (buf_.size() < capacity_) {
+      buf_.push_back(x);
+    } else {
+      buf_[head_] = x;
+      head_ = (head_ + 1) % capacity_;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return buf_.empty(); }
+
+  [[nodiscard]] double mean() const noexcept { return welford().mean(); }
+  [[nodiscard]] double stddev() const noexcept { return welford().stddev(); }
+
+  [[nodiscard]] double min() const noexcept {
+    DYNA_EXPECTS(!buf_.empty());
+    return *std::min_element(buf_.begin(), buf_.end());
+  }
+
+  [[nodiscard]] double max() const noexcept {
+    DYNA_EXPECTS(!buf_.empty());
+    return *std::max_element(buf_.begin(), buf_.end());
+  }
+
+  void clear() noexcept {
+    buf_.clear();
+    head_ = 0;
+  }
+
+ private:
+  [[nodiscard]] Welford welford() const noexcept {
+    Welford w;
+    for (double x : buf_) w.add(x);
+    return w;
+  }
+
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // index of oldest element once full
+  std::vector<double> buf_;
+};
+
+/// Batch summary over a sample vector: mean, stddev, min/max, percentiles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+
+  /// Linear-interpolation percentile of a *sorted* sample vector.
+  [[nodiscard]] static double percentile_sorted(const std::vector<double>& sorted, double q) {
+    DYNA_EXPECTS(!sorted.empty());
+    DYNA_EXPECTS(q >= 0.0 && q <= 1.0);
+    if (sorted.size() == 1) return sorted.front();
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+
+  [[nodiscard]] static Summary of(std::vector<double> samples) {
+    Summary s;
+    s.count = samples.size();
+    if (samples.empty()) return s;
+    std::sort(samples.begin(), samples.end());
+    Welford w;
+    for (double x : samples) w.add(x);
+    s.mean = w.mean();
+    s.stddev = w.stddev();
+    s.min = samples.front();
+    s.max = samples.back();
+    s.p50 = percentile_sorted(samples, 0.50);
+    s.p90 = percentile_sorted(samples, 0.90);
+    s.p99 = percentile_sorted(samples, 0.99);
+    return s;
+  }
+};
+
+}  // namespace dyna

@@ -1,0 +1,69 @@
+// Core vocabulary types shared by every Dynatune module.
+//
+// All simulation time is expressed with std::chrono on a dedicated SimClock,
+// so durations written as `100ms` in experiment code are type-checked and the
+// simulated time axis can never be confused with wall-clock time.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace dyna {
+
+/// Duration on the simulated time axis (nanosecond resolution).
+using Duration = std::chrono::nanoseconds;
+
+/// Clock tag for the simulated time axis. Never reads real time; the
+/// simulator advances it explicitly.
+struct SimClock {
+  using rep = std::int64_t;
+  using period = std::nano;
+  using duration = Duration;
+  using time_point = std::chrono::time_point<SimClock, Duration>;
+  static constexpr bool is_steady = true;
+};
+
+/// Instant on the simulated time axis.
+using TimePoint = SimClock::time_point;
+
+/// Simulation epoch (t = 0).
+inline constexpr TimePoint kSimEpoch{Duration{0}};
+
+/// Sentinel "never" instant, larger than any reachable simulation time.
+inline constexpr TimePoint kNever{Duration{std::numeric_limits<std::int64_t>::max()}};
+
+/// Convert a duration to fractional milliseconds (for reporting only).
+[[nodiscard]] constexpr double to_ms(Duration d) noexcept {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+/// Convert a time point to fractional milliseconds since the sim epoch.
+[[nodiscard]] constexpr double to_ms(TimePoint t) noexcept {
+  return to_ms(t.time_since_epoch());
+}
+
+/// Convert a duration to fractional seconds (for reporting only).
+[[nodiscard]] constexpr double to_sec(Duration d) noexcept {
+  return std::chrono::duration<double>(d).count();
+}
+
+/// Convert a time point to fractional seconds since the sim epoch.
+[[nodiscard]] constexpr double to_sec(TimePoint t) noexcept {
+  return to_sec(t.time_since_epoch());
+}
+
+/// Build a Duration from fractional milliseconds (workload/tuning math).
+[[nodiscard]] constexpr Duration from_ms(double ms) noexcept {
+  return std::chrono::duration_cast<Duration>(std::chrono::duration<double, std::milli>(ms));
+}
+
+/// Identifies one server (or client endpoint) in a cluster. Dense, 0-based.
+using NodeId = std::int32_t;
+
+/// Sentinel for "no node" (unknown leader, unset vote, ...).
+inline constexpr NodeId kNoNode = -1;
+
+}  // namespace dyna

@@ -1,0 +1,65 @@
+// Dynatune runtime configuration (the paper's §III-E runtime arguments, plus
+// the engineering clamps any production deployment needs).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace dyna::dt {
+
+using namespace std::chrono_literals;
+
+struct DynatuneConfig {
+  /// Safety factor s in Et = µ_RTT + s·σ_RTT (paper default: 2).
+  double safety_factor = 2.0;
+
+  /// Target probability x that at least one heartbeat arrives within Et
+  /// (paper default: 0.999).
+  double delivery_target = 0.999;
+
+  /// Tuning starts only once this many RTT samples are recorded (Step 0
+  /// warm-up; paper default: 10).
+  std::size_t min_list_size = 10;
+
+  /// Measurement windows are capped at this many samples; oldest data is
+  /// discarded (paper default: 1000).
+  std::size_t max_list_size = 1000;
+
+  /// Conservative fallback parameters used before warm-up completes and
+  /// after any election-timer expiry (paper: etcd defaults).
+  Duration default_election_timeout = 1000ms;
+  Duration default_heartbeat = 100ms;
+
+  /// Engineering clamps: keep tuned values physically sensible.
+  Duration min_election_timeout = 10ms;
+  Duration max_election_timeout = 10s;
+  Duration min_heartbeat = 1ms;
+
+  /// Cap on K = Et/h: bounds heartbeat load under catastrophic loss.
+  int max_heartbeats_per_timeout = 50;
+
+  /// Floor on K. The paper's formula yields K = 1 at p = 0, i.e. h = Et —
+  /// zero margin between the heartbeat inter-arrival time and the smallest
+  /// randomizedTimeout, so any delay jitter or scheduling stall trips the
+  /// election timer. §II-B itself requires h "significantly smaller" than
+  /// Et; K >= 2 restores a margin of at least Et/2. The ablation bench
+  /// sweeps this knob to quantify the effect.
+  int min_heartbeats_per_timeout = 2;
+
+  /// When set, disable loss-driven K tuning and use this constant instead
+  /// (the paper's Fix-K comparison variant, K = 10).
+  std::optional<int> fixed_k;
+
+  /// On election-timer expiry the measurement lists are discarded
+  /// immediately (Step 0), but the tuned Et keeps governing the retry timer
+  /// for this many consecutive timeouts before reverting to the conservative
+  /// default. The paper restarts Step 0 "with a newly elected leader", i.e.
+  /// elections are fought with the tuned (small) timeout — this bound adds a
+  /// liveness escape hatch if the network degraded so much that tuned-Et
+  /// elections cannot converge (cf. the Raft-Low death spiral of §IV-C1).
+  int fallback_after_rounds = 3;
+};
+
+}  // namespace dyna::dt

@@ -1,0 +1,55 @@
+// Packet-loss estimator: the paper's ids list.
+//
+// The leader tags every heartbeat with a per-path sequential id. The follower
+// keeps the ids it received, in ascending order with duplicates ignored
+// (datagram heartbeats may be reordered or duplicated), and estimates
+//   p = 1 − received / expected,  expected = ids.back − ids.front + 1.
+// The window is capped at maxListSize; the oldest (smallest) ids are dropped,
+// and stale ids below the window are ignored so eviction cannot re-widen the
+// span.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace dyna::dt {
+
+class LossEstimator {
+ public:
+  explicit LossEstimator(std::size_t max_list_size) : max_size_(max_list_size) {
+    DYNA_EXPECTS(max_list_size >= 2);
+  }
+
+  /// Record a received heartbeat id. Returns false for duplicates/stale ids.
+  bool record(std::uint64_t id) {
+    if (!ids_.empty() && ids_.size() >= max_size_ && id < *ids_.begin()) {
+      return false;  // below the retained window: stale straggler
+    }
+    const auto [it, inserted] = ids_.insert(id);
+    if (!inserted) return false;  // duplicate delivery
+    if (ids_.size() > max_size_) ids_.erase(ids_.begin());
+    return true;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return ids_.size(); }
+
+  /// Estimated loss rate over the window; 0 until two ids are present.
+  [[nodiscard]] double loss_rate() const noexcept {
+    if (ids_.size() < 2) return 0.0;
+    const std::uint64_t expected = *ids_.rbegin() - *ids_.begin() + 1;
+    DYNA_ASSERT(expected >= ids_.size());
+    return 1.0 - static_cast<double>(ids_.size()) / static_cast<double>(expected);
+  }
+
+  /// Discard everything (fallback / leader change: back to Step 0).
+  void reset() noexcept { ids_.clear(); }
+
+ private:
+  std::size_t max_size_;
+  std::set<std::uint64_t> ids_;
+};
+
+}  // namespace dyna::dt

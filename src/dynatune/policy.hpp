@@ -1,0 +1,133 @@
+// DynatunePolicy: the paper's mechanism as a raft::ElectionPolicy.
+//
+// Follower side (Steps 0–3 of §III-B): record heartbeat metadata, estimate
+// RTT statistics and loss rate, tune Et = µ + s·σ and h = Et/K, apply Et
+// locally and return h for piggybacking. Until minListSize RTT samples exist
+// (Step 0) the conservative defaults apply. Any election-timer expiry or
+// leader change discards all measurement state and falls back to defaults.
+//
+// Leader side: remember the tuned h piggybacked by each follower and hand it
+// to the per-follower heartbeat timer.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "common/types.hpp"
+#include "dynatune/config.hpp"
+#include "dynatune/loss_estimator.hpp"
+#include "dynatune/rtt_estimator.hpp"
+#include "dynatune/tuning.hpp"
+#include "raft/election_policy.hpp"
+
+namespace dyna::dt {
+
+class DynatunePolicy final : public raft::ElectionPolicy {
+ public:
+  explicit DynatunePolicy(DynatuneConfig config)
+      : cfg_(config), rtt_(config.max_list_size), loss_(config.max_list_size) {}
+
+  // ---- Parameters in force --------------------------------------------------
+
+  [[nodiscard]] Duration election_timeout() const override {
+    return tuned_et_.value_or(cfg_.default_election_timeout);
+  }
+
+  [[nodiscard]] Duration heartbeat_interval(NodeId follower) const override {
+    const auto it = follower_h_.find(follower);
+    return it != follower_h_.end() ? it->second : cfg_.default_heartbeat;
+  }
+
+  // ---- Follower side ----------------------------------------------------------
+
+  std::optional<Duration> on_heartbeat_meta(NodeId /*leader*/, const raft::HeartbeatMeta& meta,
+                                            TimePoint /*now*/) override {
+    loss_.record(meta.id);
+    if (meta.measured_rtt) rtt_.record(*meta.measured_rtt);
+
+    if (rtt_.count() < cfg_.min_list_size) {
+      // Step 0: not enough data — advertise the default pace. The stale
+      // tuned Et (if any) stays in force only while consecutive timeouts
+      // remain under the fallback bound; the counter is cleared on a
+      // *successful* retune below, not here, so a tuned-Et value that keeps
+      // tripping the timer still converges to the conservative default.
+      return cfg_.default_heartbeat;
+    }
+    consecutive_timeouts_ = 0;  // healthy again: measuring and tuning
+
+    // Step 2: Et from RTT statistics, then h from the loss rate.
+    const Duration et = compute_election_timeout(rtt_.mean_ms(), rtt_.stddev_ms(), cfg_);
+    const int k = cfg_.fixed_k ? *cfg_.fixed_k
+                               : compute_k(loss_.loss_rate(), cfg_.delivery_target,
+                                           cfg_.min_heartbeats_per_timeout,
+                                           cfg_.max_heartbeats_per_timeout);
+    const Duration h = compute_heartbeat_interval(et, k, cfg_);
+    tuned_et_ = et;
+    tuned_h_ = h;
+    return h;  // Step 3: piggybacked on the heartbeat response
+  }
+
+  void on_election_timeout() override {
+    // Discard the measurement data right away (back to Step 0)...
+    rtt_.reset();
+    loss_.reset();
+    ++consecutive_timeouts_;
+    // ...but fight the election with the tuned timeout: Step 0 restarts
+    // "with a newly elected leader". Only persistent failure to elect makes
+    // us retreat to the conservative defaults.
+    if (consecutive_timeouts_ >= cfg_.fallback_after_rounds) {
+      tuned_et_.reset();
+      tuned_h_.reset();
+    }
+  }
+
+  void on_leader_changed(NodeId /*leader*/, raft::Term /*term*/) override {
+    // New measurement path: restart from Step 0 under the new leader with
+    // the default parameters.
+    consecutive_timeouts_ = 0;
+    fall_back();
+  }
+
+  // ---- Leader side ----------------------------------------------------------------
+
+  void on_tuned_heartbeat(NodeId follower, Duration h) override {
+    follower_h_[follower] =
+        std::clamp(h, cfg_.min_heartbeat, cfg_.max_election_timeout);
+  }
+
+  void on_became_leader() override {
+    follower_h_.clear();
+    consecutive_timeouts_ = 0;
+  }
+
+  // ---- Introspection (tests, telemetry, benches) ------------------------------------
+
+  [[nodiscard]] const DynatuneConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const RttEstimator& rtt() const noexcept { return rtt_; }
+  [[nodiscard]] const LossEstimator& loss() const noexcept { return loss_; }
+  [[nodiscard]] std::optional<Duration> tuned_election_timeout() const noexcept {
+    return tuned_et_;
+  }
+  [[nodiscard]] std::optional<Duration> tuned_heartbeat() const noexcept { return tuned_h_; }
+  [[nodiscard]] bool warmed_up() const noexcept { return rtt_.count() >= cfg_.min_list_size; }
+
+ private:
+  void fall_back() {
+    rtt_.reset();
+    loss_.reset();
+    tuned_et_.reset();
+    tuned_h_.reset();
+  }
+
+  DynatuneConfig cfg_;
+  // Follower-side measurement state for the current leader path.
+  RttEstimator rtt_;
+  LossEstimator loss_;
+  std::optional<Duration> tuned_et_;
+  std::optional<Duration> tuned_h_;
+  int consecutive_timeouts_ = 0;
+  // Leader-side per-follower heartbeat intervals (piggybacked by followers).
+  std::map<NodeId, Duration> follower_h_;
+};
+
+}  // namespace dyna::dt

@@ -1,0 +1,39 @@
+// RTT estimator: the paper's RTTs list.
+//
+// The leader measures RTT from heartbeat-timestamp echoes (on its own clock)
+// and ships each measurement to the follower inside the next heartbeat; the
+// follower records them here. Mean and standard deviation over the bounded
+// window feed Et = µ + s·σ.
+#pragma once
+
+#include <cstddef>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace dyna::dt {
+
+class RttEstimator {
+ public:
+  explicit RttEstimator(std::size_t max_list_size) : window_(max_list_size) {}
+
+  /// Record one measured RTT. Oldest samples fall out beyond maxListSize.
+  void record(Duration rtt) { window_.add(to_ms(rtt)); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return window_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return window_.empty(); }
+
+  /// Mean RTT over the window, in milliseconds.
+  [[nodiscard]] double mean_ms() const noexcept { return window_.mean(); }
+
+  /// Standard deviation of RTT over the window, in milliseconds.
+  [[nodiscard]] double stddev_ms() const noexcept { return window_.stddev(); }
+
+  /// Discard everything (fallback / leader change: back to Step 0).
+  void reset() noexcept { window_.clear(); }
+
+ private:
+  SlidingWindow window_;
+};
+
+}  // namespace dyna::dt

@@ -1,0 +1,49 @@
+// The tuning formulas of the paper (§III-D), as pure functions.
+//
+// Keeping them free of estimator state means the exact math is unit-testable
+// against the paper's own worked numbers (e.g. p = 0.3, x = 0.999 ⇒ K = 6).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "dynatune/config.hpp"
+
+namespace dyna::dt {
+
+/// Election timeout from RTT statistics: Et = µ + s·σ, clamped.
+[[nodiscard]] inline Duration compute_election_timeout(double mean_rtt_ms, double stddev_rtt_ms,
+                                                       const DynatuneConfig& cfg) {
+  DYNA_EXPECTS(mean_rtt_ms >= 0.0);
+  DYNA_EXPECTS(stddev_rtt_ms >= 0.0);
+  const double et_ms = mean_rtt_ms + cfg.safety_factor * stddev_rtt_ms;
+  const auto et = from_ms(et_ms);
+  return std::clamp(et, cfg.min_election_timeout, cfg.max_election_timeout);
+}
+
+/// Number of heartbeats K required so that P(at least one arrives) >= x under
+/// loss rate p: smallest K with 1 - p^K >= x, i.e. K = ceil(log_p(1 - x)),
+/// clamped into [min_k, max_k].
+[[nodiscard]] inline int compute_k(double loss_rate, double delivery_target, int min_k,
+                                   int max_k) {
+  DYNA_EXPECTS(delivery_target > 0.0 && delivery_target < 1.0);
+  DYNA_EXPECTS(min_k >= 1 && min_k <= max_k);
+  if (loss_rate <= 0.0) return min_k;
+  if (loss_rate >= 1.0) return max_k;
+  const double raw = std::log(1.0 - delivery_target) / std::log(loss_rate);
+  // Tolerate floating-point dust just below an integer boundary.
+  const int k = static_cast<int>(std::ceil(raw - 1e-9));
+  return std::clamp(k, min_k, max_k);
+}
+
+/// Heartbeat interval placing K beats evenly within Et: h = Et / K, floored.
+[[nodiscard]] inline Duration compute_heartbeat_interval(Duration election_timeout, int k,
+                                                         const DynatuneConfig& cfg) {
+  DYNA_EXPECTS(k >= 1);
+  const Duration h = election_timeout / k;
+  return std::max(h, cfg.min_heartbeat);
+}
+
+}  // namespace dyna::dt

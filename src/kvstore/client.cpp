@@ -1,0 +1,138 @@
+#include "kvstore/client.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dyna::kv {
+
+KvClient::KvClient(sim::Simulator& simulator, net::Network& network, std::vector<NodeId> servers,
+                   Rng rng, Config config)
+    : sim_(&simulator),
+      net_(&network),
+      servers_(std::move(servers)),
+      rng_(std::move(rng)),
+      config_(config) {
+  DYNA_EXPECTS(!servers_.empty());
+  endpoint_ = net_->add_node([this](NodeId from, const std::any& payload) {
+    on_message(from, payload);
+  });
+  target_ = servers_[rng_.uniform_index(servers_.size())];
+}
+
+void KvClient::put(std::string key, std::string value, DoneFn done) {
+  KvCommand cmd{Op::Put, std::move(key), std::move(value), {}};
+  submit(encode(cmd), std::move(done));
+}
+
+void KvClient::get(std::string key, DoneFn done) {
+  KvCommand cmd{Op::Get, std::move(key), {}, {}};
+  submit(encode(cmd), std::move(done));
+}
+
+void KvClient::del(std::string key, DoneFn done) {
+  KvCommand cmd{Op::Del, std::move(key), {}, {}};
+  submit(encode(cmd), std::move(done));
+}
+
+void KvClient::cas(std::string key, std::string expected, std::string value, DoneFn done) {
+  KvCommand cmd{Op::Cas, std::move(key), std::move(value), std::move(expected)};
+  submit(encode(cmd), std::move(done));
+}
+
+void KvClient::submit(std::string payload, DoneFn done) {
+  const std::uint64_t seq = next_seq_++;
+  Pending& p = pending_[seq];
+  p.payload = std::move(payload);
+  p.done = std::move(done);
+  p.submitted = sim_->now();
+  send_attempt(seq);
+}
+
+void KvClient::send_attempt(std::uint64_t seq) {
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+
+  if (p.attempts >= config_.max_attempts) {
+    complete(seq, false, "ERR too-many-attempts");
+    return;
+  }
+  ++p.attempts;
+  if (p.attempts > 1) ++retries_;
+
+  raft::ClientRequest req;
+  req.command.payload = p.payload;
+  req.command.client = endpoint_;
+  req.command.client_seq = seq;
+  net_->send(endpoint_, target_, raft::Message(std::move(req)), net::Transport::Reliable,
+             64 + p.payload.size());
+
+  p.timeout_event = sim_->schedule_after(config_.request_timeout, [this, seq] {
+    const auto pit = pending_.find(seq);
+    if (pit == pending_.end()) return;
+    pit->second.timeout_event = sim::kInvalidEvent;
+    rotate_target();  // leader may be down: try another server
+    send_attempt(seq);
+  });
+}
+
+void KvClient::rotate_target() {
+  const auto it = std::find(servers_.begin(), servers_.end(), target_);
+  const std::size_t idx = it == servers_.end()
+                              ? rng_.uniform_index(servers_.size())
+                              : (static_cast<std::size_t>(it - servers_.begin()) + 1) %
+                                    servers_.size();
+  target_ = servers_[idx];
+}
+
+void KvClient::on_message(NodeId /*from*/, const std::any& payload) {
+  const auto* msg = std::any_cast<raft::Message>(&payload);
+  if (msg == nullptr) return;
+  const auto* resp = std::get_if<raft::ClientResponse>(msg);
+  if (resp == nullptr) return;
+
+  const auto it = pending_.find(resp->client_seq);
+  if (it == pending_.end()) return;  // duplicate/late response
+  Pending& p = it->second;
+
+  if (resp->ok) {
+    complete(resp->client_seq, true, resp->result);
+    return;
+  }
+
+  // Redirected: follow the hint (or rotate) after a short backoff.
+  if (p.timeout_event != sim::kInvalidEvent) {
+    sim_->cancel(p.timeout_event);
+    p.timeout_event = sim::kInvalidEvent;
+  }
+  if (resp->leader_hint != kNoNode) {
+    target_ = resp->leader_hint;
+  } else {
+    rotate_target();
+  }
+  const std::uint64_t seq = resp->client_seq;
+  sim_->schedule_after(config_.redirect_backoff, [this, seq] { send_attempt(seq); });
+}
+
+void KvClient::complete(std::uint64_t seq, bool ok, std::string value) {
+  const auto it = pending_.find(seq);
+  DYNA_ASSERT(it != pending_.end());
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  if (p.timeout_event != sim::kInvalidEvent) sim_->cancel(p.timeout_event);
+  if (ok) {
+    ++completed_;
+  } else {
+    ++failed_;
+  }
+  if (p.done) {
+    ClientResult result;
+    result.ok = ok;
+    result.value = std::move(value);
+    result.latency = sim_->now() - p.submitted;
+    result.attempts = p.attempts;
+    p.done(result);
+  }
+}
+
+}  // namespace dyna::kv

@@ -1,0 +1,99 @@
+// KV client session: a network endpoint that finds the leader, retries on
+// redirects and timeouts, and completes requests through callbacks.
+//
+// This is the open-loop workload generator's building block and what the
+// examples use to talk to a cluster.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "kvstore/command.hpp"
+#include "net/network.hpp"
+#include "raft/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace dyna::kv {
+
+using namespace std::chrono_literals;
+
+/// Final outcome of one client operation.
+struct ClientResult {
+  bool ok = false;
+  std::string value;       ///< state-machine result (when ok)
+  Duration latency{};      ///< submit -> completion
+  int attempts = 0;        ///< sends performed (1 = first try succeeded)
+};
+
+class KvClient {
+ public:
+  using DoneFn = std::function<void(const ClientResult&)>;
+
+  struct Config {
+    Duration request_timeout = 1s;   ///< per-attempt timeout before retry
+    Duration redirect_backoff = 5ms; ///< delay before following a redirect
+    int max_attempts = 20;
+  };
+
+  KvClient(sim::Simulator& simulator, net::Network& network, std::vector<NodeId> servers,
+           Rng rng, Config config);
+
+  KvClient(sim::Simulator& simulator, net::Network& network, std::vector<NodeId> servers,
+           Rng rng)
+      : KvClient(simulator, network, std::move(servers), std::move(rng), Config{}) {}
+
+  KvClient(const KvClient&) = delete;
+  KvClient& operator=(const KvClient&) = delete;
+
+  /// This client's network endpoint id.
+  [[nodiscard]] NodeId endpoint() const noexcept { return endpoint_; }
+
+  void put(std::string key, std::string value, DoneFn done);
+  void get(std::string key, DoneFn done);
+  void del(std::string key, DoneFn done);
+  void cas(std::string key, std::string expected, std::string value, DoneFn done);
+
+  /// Fire a raw encoded command (workload generator path).
+  void submit(std::string payload, DoneFn done);
+
+  // ---- Counters ----
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+  [[nodiscard]] std::uint64_t failed() const noexcept { return failed_; }
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+  [[nodiscard]] std::size_t outstanding() const noexcept { return pending_.size(); }
+
+ private:
+  struct Pending {
+    std::string payload;
+    DoneFn done;
+    TimePoint submitted;
+    int attempts = 0;
+    sim::EventId timeout_event = sim::kInvalidEvent;
+  };
+
+  void send_attempt(std::uint64_t seq);
+  void on_message(NodeId from, const std::any& payload);
+  void complete(std::uint64_t seq, bool ok, std::string value);
+  void rotate_target();
+
+  sim::Simulator* sim_;
+  net::Network* net_;
+  std::vector<NodeId> servers_;
+  Rng rng_;
+  Config config_;
+  NodeId endpoint_;
+  NodeId target_;  ///< server currently believed to be the leader
+  std::uint64_t next_seq_ = 1;
+  std::map<std::uint64_t, Pending> pending_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace dyna::kv

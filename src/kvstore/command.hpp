@@ -1,0 +1,108 @@
+// KV command serialization.
+//
+// Raft carries opaque payload strings; the KV layer defines a compact,
+// deterministic, binary-safe encoding: length-prefixed fields so keys and
+// values may contain any byte.
+//
+//   PUT key value   -> "P" <key> <value>
+//   GET key         -> "G" <key>
+//   DEL key         -> "D" <key>
+//   CAS key exp new -> "C" <key> <expected> <new>
+//
+// Each field is encoded as <decimal length> ':' <bytes>.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/check.hpp"
+
+namespace dyna::kv {
+
+enum class Op : char {
+  Put = 'P',
+  Get = 'G',
+  Del = 'D',
+  Cas = 'C',
+};
+
+struct KvCommand {
+  Op op = Op::Get;
+  std::string key;
+  std::string value;     // PUT: new value; CAS: new value
+  std::string expected;  // CAS only
+
+  friend bool operator==(const KvCommand&, const KvCommand&) = default;
+};
+
+namespace detail {
+
+inline void encode_field(std::string& out, std::string_view field) {
+  out += std::to_string(field.size());
+  out += ':';
+  out += field;
+}
+
+/// Parse one length-prefixed field; advances `pos`. Returns nullopt on
+/// malformed input.
+inline std::optional<std::string> decode_field(std::string_view buf, std::size_t& pos) {
+  const std::size_t colon = buf.find(':', pos);
+  if (colon == std::string_view::npos || colon == pos) return std::nullopt;
+  std::size_t len = 0;
+  for (std::size_t i = pos; i < colon; ++i) {
+    const char c = buf[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    len = len * 10 + static_cast<std::size_t>(c - '0');
+  }
+  pos = colon + 1;
+  if (pos + len > buf.size()) return std::nullopt;
+  std::string field(buf.substr(pos, len));
+  pos += len;
+  return field;
+}
+
+}  // namespace detail
+
+[[nodiscard]] inline std::string encode(const KvCommand& cmd) {
+  std::string out;
+  out += static_cast<char>(cmd.op);
+  detail::encode_field(out, cmd.key);
+  if (cmd.op == Op::Put || cmd.op == Op::Cas) {
+    detail::encode_field(out, cmd.value);
+  }
+  if (cmd.op == Op::Cas) {
+    detail::encode_field(out, cmd.expected);
+  }
+  return out;
+}
+
+[[nodiscard]] inline std::optional<KvCommand> decode(std::string_view payload) {
+  if (payload.empty()) return std::nullopt;
+  KvCommand cmd;
+  switch (payload.front()) {
+    case 'P': cmd.op = Op::Put; break;
+    case 'G': cmd.op = Op::Get; break;
+    case 'D': cmd.op = Op::Del; break;
+    case 'C': cmd.op = Op::Cas; break;
+    default: return std::nullopt;
+  }
+  std::size_t pos = 1;
+  auto key = detail::decode_field(payload, pos);
+  if (!key) return std::nullopt;
+  cmd.key = std::move(*key);
+  if (cmd.op == Op::Put || cmd.op == Op::Cas) {
+    auto value = detail::decode_field(payload, pos);
+    if (!value) return std::nullopt;
+    cmd.value = std::move(*value);
+  }
+  if (cmd.op == Op::Cas) {
+    auto expected = detail::decode_field(payload, pos);
+    if (!expected) return std::nullopt;
+    cmd.expected = std::move(*expected);
+  }
+  if (pos != payload.size()) return std::nullopt;  // trailing garbage
+  return cmd;
+}
+
+}  // namespace dyna::kv

@@ -1,0 +1,68 @@
+// Replicated state machine interface + the etcd-like KV implementation.
+//
+// Every replica applies the same committed payload sequence; determinism of
+// apply() is what makes State Machine Replication hold, and the test suite
+// checks replicas byte-for-byte against each other.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "kvstore/command.hpp"
+
+namespace dyna::kv {
+
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  /// Apply one committed command payload; returns the client-visible result.
+  virtual std::string apply(const std::string& payload) = 0;
+};
+
+/// In-memory ordered KV store with a global revision counter (mirrors etcd's
+/// semantics at the granularity the experiments need).
+class KvStateMachine final : public StateMachine {
+ public:
+  std::string apply(const std::string& payload) override {
+    const auto cmd = decode(payload);
+    if (!cmd) return "ERR malformed";
+    switch (cmd->op) {
+      case Op::Put:
+        ++revision_;
+        data_[cmd->key] = cmd->value;
+        return "OK " + std::to_string(revision_);
+      case Op::Get: {
+        const auto it = data_.find(cmd->key);
+        return it == data_.end() ? "(nil)" : it->second;
+      }
+      case Op::Del: {
+        const auto erased = data_.erase(cmd->key);
+        if (erased > 0) ++revision_;
+        return erased > 0 ? "OK " + std::to_string(revision_) : "(nil)";
+      }
+      case Op::Cas: {
+        const auto it = data_.find(cmd->key);
+        if (it != data_.end() && it->second == cmd->expected) {
+          ++revision_;
+          it->second = cmd->value;
+          return "OK " + std::to_string(revision_);
+        }
+        return "FAIL";
+      }
+    }
+    return "ERR unknown-op";
+  }
+
+  // ---- Introspection (tests, examples) ----
+  [[nodiscard]] std::uint64_t revision() const noexcept { return revision_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] const std::map<std::string, std::string>& data() const noexcept { return data_; }
+
+ private:
+  std::map<std::string, std::string> data_;
+  std::uint64_t revision_ = 0;
+};
+
+}  // namespace dyna::kv

@@ -1,0 +1,69 @@
+// Empirical CDFs — the presentation form of the paper's Figs 4 and 8.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace dyna::metrics {
+
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+
+  explicit EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+
+  void add(double x) {
+    sorted_.insert(std::upper_bound(sorted_.begin(), sorted_.end(), x), x);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return sorted_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return sorted_.empty(); }
+
+  /// P(X <= x).
+  [[nodiscard]] double probability_at(double x) const {
+    if (sorted_.empty()) return 0.0;
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+  }
+
+  /// Quantile with linear interpolation, q in [0, 1].
+  [[nodiscard]] double quantile(double q) const {
+    DYNA_EXPECTS(!sorted_.empty());
+    return Summary::percentile_sorted(sorted_, q);
+  }
+
+  [[nodiscard]] double mean() const {
+    Welford w;
+    for (double x : sorted_) w.add(x);
+    return w.mean();
+  }
+
+  /// Evenly spaced (value, cumulative probability) points for plotting;
+  /// at most `max_points` of them.
+  [[nodiscard]] std::vector<std::pair<double, double>> points(std::size_t max_points = 50) const {
+    std::vector<std::pair<double, double>> pts;
+    if (sorted_.empty() || max_points == 0) return pts;
+    const std::size_t stride = std::max<std::size_t>(1, sorted_.size() / max_points);
+    for (std::size_t i = 0; i < sorted_.size(); i += stride) {
+      pts.emplace_back(sorted_[i],
+                       static_cast<double>(i + 1) / static_cast<double>(sorted_.size()));
+    }
+    if (pts.back().second < 1.0) {
+      pts.emplace_back(sorted_.back(), 1.0);
+    }
+    return pts;
+  }
+
+  [[nodiscard]] const std::vector<double>& sorted_samples() const noexcept { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace dyna::metrics

@@ -1,0 +1,66 @@
+// Console reporting helpers shared by the bench binaries.
+//
+// Every bench prints plain aligned tables so `for b in build/bench/*; do $b;
+// done` yields a readable transcript comparable against the paper.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dyna::metrics {
+
+/// Fixed-width console table. Column widths adapt to content.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void row(std::vector<std::string> cells) {
+    DYNA_EXPECTS(cells.size() == header_.size());
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+    }
+    print_row(out, header_, width);
+    std::string rule;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      rule += std::string(width[c], '-');
+      if (c + 1 < width.size()) rule += "-+-";
+    }
+    std::fprintf(out, "%s\n", rule.c_str());
+    for (const auto& r : rows_) print_row(out, r, width);
+  }
+
+  [[nodiscard]] static std::string num(double v, int decimals = 1) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+    return buf;
+  }
+
+ private:
+  static void print_row(std::FILE* out, const std::vector<std::string>& cells,
+                        const std::vector<std::size_t>& width) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::fprintf(out, "%-*s", static_cast<int>(width[c]), cells[c].c_str());
+      if (c + 1 < cells.size()) std::fprintf(out, " | ");
+    }
+    std::fprintf(out, "\n");
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section banner for bench output.
+inline void banner(const std::string& title, std::FILE* out = stdout) {
+  std::fprintf(out, "\n===== %s =====\n", title.c_str());
+}
+
+}  // namespace dyna::metrics

@@ -1,0 +1,61 @@
+// Time series recorder — the presentation form of Figs 6 and 7.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace dyna::metrics {
+
+/// A named sequence of (time, value) points sampled by an experiment driver.
+class TimeSeries {
+ public:
+  struct Point {
+    double t_sec;
+    double value;
+  };
+
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void push(TimePoint t, double value) { points_.push_back({to_sec(t), value}); }
+  void push_sec(double t_sec, double value) { points_.push_back({t_sec, value}); }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<Point>& points() const noexcept { return points_; }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+
+  [[nodiscard]] double min_value() const {
+    DYNA_EXPECTS(!points_.empty());
+    double m = points_.front().value;
+    for (const auto& p : points_) m = std::min(m, p.value);
+    return m;
+  }
+
+  [[nodiscard]] double max_value() const {
+    DYNA_EXPECTS(!points_.empty());
+    double m = points_.front().value;
+    for (const auto& p : points_) m = std::max(m, p.value);
+    return m;
+  }
+
+  /// Average value over points with t in [t0, t1).
+  [[nodiscard]] double mean_in(double t0_sec, double t1_sec) const {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& p : points_) {
+      if (p.t_sec >= t0_sec && p.t_sec < t1_sec) {
+        sum += p.value;
+        ++n;
+      }
+    }
+    return n > 0 ? sum / static_cast<double>(n) : 0.0;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+}  // namespace dyna::metrics

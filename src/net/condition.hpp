@@ -1,0 +1,156 @@
+// Link conditions and time-varying condition schedules.
+//
+// This is the repo's substitute for the paper's `tc netem` shaping: every
+// directed link has an RTT (with jitter), a packet-loss rate and a duplicate
+// probability, and those can change over simulated time through a
+// piecewise-constant ConditionSchedule. The schedule builders below express
+// the exact fluctuation patterns of the paper's §IV-C experiments.
+#pragma once
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace dyna::net {
+
+using namespace std::chrono_literals;
+
+/// Instantaneous condition of one directed link.
+struct LinkCondition {
+  Duration rtt = 100ms;      ///< round-trip time; one-way delay is rtt/2
+  Duration jitter = 0ms;     ///< stddev of the one-way delay perturbation
+  double loss = 0.0;         ///< probability a datagram is dropped
+  double duplicate = 0.0;    ///< probability a datagram is delivered twice
+
+  friend bool operator==(const LinkCondition&, const LinkCondition&) = default;
+};
+
+/// Piecewise-constant schedule: condition i applies from segment i's start
+/// until the next segment's start. Times before the first segment use the
+/// first condition.
+class ConditionSchedule {
+ public:
+  struct Segment {
+    TimePoint start;
+    LinkCondition condition;
+  };
+
+  ConditionSchedule() : ConditionSchedule(LinkCondition{}) {}
+
+  explicit ConditionSchedule(LinkCondition constant) {
+    segments_.push_back({kSimEpoch, constant});
+  }
+
+  explicit ConditionSchedule(std::vector<Segment> segments) : segments_(std::move(segments)) {
+    DYNA_EXPECTS(!segments_.empty());
+    for (std::size_t i = 1; i < segments_.size(); ++i) {
+      DYNA_EXPECTS(segments_[i - 1].start < segments_[i].start);
+    }
+  }
+
+  [[nodiscard]] const LinkCondition& at(TimePoint t) const noexcept {
+    // Linear scan from the back: experiment schedules have tens of segments
+    // and queries are strongly biased toward "current" time.
+    for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+      if (it->start <= t) return it->condition;
+    }
+    return segments_.front().condition;
+  }
+
+  [[nodiscard]] const std::vector<Segment>& segments() const noexcept { return segments_; }
+
+  // ---- Builders for the paper's experiment patterns -----------------------
+
+  /// Constant condition forever.
+  [[nodiscard]] static ConditionSchedule constant(LinkCondition c) {
+    return ConditionSchedule(c);
+  }
+
+  /// Step through a sequence of RTT values, holding each for `hold`
+  /// (Fig 6a: 50→200→50 ms in 10 ms steps, one minute each).
+  [[nodiscard]] static ConditionSchedule rtt_steps(LinkCondition base,
+                                                   const std::vector<Duration>& rtts,
+                                                   Duration hold, TimePoint start = kSimEpoch) {
+    DYNA_EXPECTS(!rtts.empty());
+    DYNA_EXPECTS(hold > Duration{0});
+    std::vector<Segment> segs;
+    segs.reserve(rtts.size());
+    TimePoint t = start;
+    for (Duration rtt : rtts) {
+      LinkCondition c = base;
+      c.rtt = rtt;
+      segs.push_back({t, c});
+      t += hold;
+    }
+    return ConditionSchedule(std::move(segs));
+  }
+
+  /// Symmetric up-then-down RTT ramp: lo, lo+step, ..., hi, ..., lo+step, lo.
+  [[nodiscard]] static ConditionSchedule rtt_ramp_up_down(LinkCondition base, Duration lo,
+                                                          Duration hi, Duration step,
+                                                          Duration hold) {
+    DYNA_EXPECTS(lo <= hi);
+    DYNA_EXPECTS(step > Duration{0});
+    std::vector<Duration> rtts;
+    for (Duration r = lo; r < hi; r += step) rtts.push_back(r);
+    rtts.push_back(hi);
+    for (Duration r = hi - step; r >= lo; r -= step) rtts.push_back(r);
+    return rtt_steps(base, rtts, hold);
+  }
+
+  /// Radical spike: `lo` until spike_start, `hi` for spike_len, then `lo`
+  /// (Fig 6b: 50 ms → 500 ms for one minute → 50 ms).
+  [[nodiscard]] static ConditionSchedule rtt_spike(LinkCondition base, Duration lo, Duration hi,
+                                                   TimePoint spike_start, Duration spike_len) {
+    DYNA_EXPECTS(spike_start > kSimEpoch);
+    DYNA_EXPECTS(spike_len > Duration{0});
+    LinkCondition low = base, high = base;
+    low.rtt = lo;
+    high.rtt = hi;
+    return ConditionSchedule({{kSimEpoch, low}, {spike_start, high}, {spike_start + spike_len, low}});
+  }
+
+  /// Step through packet-loss rates, holding each (Fig 7: 0→30 %→0 in 5 %
+  /// steps, three minutes each).
+  [[nodiscard]] static ConditionSchedule loss_steps(LinkCondition base,
+                                                    const std::vector<double>& losses,
+                                                    Duration hold, TimePoint start = kSimEpoch) {
+    DYNA_EXPECTS(!losses.empty());
+    DYNA_EXPECTS(hold > Duration{0});
+    std::vector<Segment> segs;
+    segs.reserve(losses.size());
+    TimePoint t = start;
+    for (double p : losses) {
+      DYNA_EXPECTS(p >= 0.0 && p < 1.0);
+      LinkCondition c = base;
+      c.loss = p;
+      segs.push_back({t, c});
+      t += hold;
+    }
+    return ConditionSchedule(std::move(segs));
+  }
+
+  /// Symmetric up-then-down loss ramp in `step` increments. Levels are
+  /// computed by integer index so repeated float addition cannot leave dust
+  /// on the endpoints.
+  [[nodiscard]] static ConditionSchedule loss_ramp_up_down(LinkCondition base, double lo,
+                                                           double hi, double step,
+                                                           Duration hold) {
+    DYNA_EXPECTS(lo <= hi);
+    DYNA_EXPECTS(step > 0.0);
+    const int levels = static_cast<int>(std::lround((hi - lo) / step));
+    std::vector<double> losses;
+    losses.reserve(2 * static_cast<std::size_t>(levels) + 1);
+    for (int i = 0; i <= levels; ++i) losses.push_back(lo + step * i);
+    for (int i = levels - 1; i >= 0; --i) losses.push_back(lo + step * i);
+    return loss_steps(base, losses, hold);
+  }
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+}  // namespace dyna::net

@@ -1,0 +1,157 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dyna::net {
+
+Duration Network::sample_one_way_delay(const LinkCondition& cond) {
+  const double half_rtt_ms = to_ms(cond.rtt) / 2.0;
+  // Jitter applies per direction; treat the configured jitter as the stddev
+  // of the one-way perturbation (tc netem's `delay <d> <jitter>` semantics).
+  const double jitter_ms = to_ms(cond.jitter);
+  double delay_ms = half_rtt_ms;
+  if (jitter_ms > 0.0) delay_ms += rng_.normal(0.0, jitter_ms);
+  // OS/NIC noise floor: even a perfectly shaped link wobbles by tens of
+  // microseconds. This breaks pathological event ties and keeps measured
+  // RTT variance strictly positive (as on any real system).
+  delay_ms += rng_.uniform(0.0, 0.1);
+  // Physical floor: never faster than 5% of the nominal path, never negative.
+  delay_ms = std::max(delay_ms, std::max(0.05 * half_rtt_ms, 0.01));
+  return from_ms(delay_ms);
+}
+
+Duration Network::stall_penalty(NodeId node, TimePoint t) {
+  if (config_.stall.mean_interval <= Duration{0}) return Duration{0};
+  StallWindow& w = state(node).stall;
+  if (w.start == kNever) {
+    // Lazily seed the renewal process on first use.
+    w.start = kSimEpoch;
+    w.end = kSimEpoch;
+    roll_stall(w);
+  }
+  while (w.end <= t) roll_stall(w);
+  return t >= w.start ? w.end - t : Duration{0};
+}
+
+void Network::roll_stall(StallWindow& w) {
+  const double gap_sec = rng_.exponential(1.0 / to_sec(config_.stall.mean_interval));
+  w.start = w.end + from_ms(gap_sec * 1000.0);
+  const double dur_ms =
+      config_.stall.duration_median_ms * std::exp(config_.stall.duration_sigma * rng_.normal());
+  w.end = w.start + from_ms(dur_ms);
+}
+
+void Network::send(NodeId from, NodeId to, std::any payload, Transport transport,
+                   std::size_t bytes) {
+  DYNA_EXPECTS(valid(from) && valid(to));
+  DYNA_EXPECTS(from != to);
+
+  NodeState& src = state(from);
+  src.traffic.sent += 1;
+  src.traffic.sent_bytes += bytes;
+
+  if (blocked_.contains({from, to})) return;  // partitioned: vanishes
+
+  const LinkCondition cond = condition(from, to);
+  Duration delay = sample_one_way_delay(cond);
+  // A stalled sender's packet leaves when the stall ends; a stalled receiver
+  // processes it when its own stall ends.
+  delay += stall_penalty(from, sim_->now());
+  delay += stall_penalty(to, sim_->now() + delay);
+
+  if (transport == Transport::Datagram) {
+    if (rng_.bernoulli(cond.loss)) {
+      state(to).traffic.lost += 1;
+      return;
+    }
+    schedule_delivery(from, to, payload, transport, bytes, delay);
+    if (rng_.bernoulli(cond.duplicate)) {
+      // The duplicate takes an independent path through the network.
+      schedule_delivery(from, to, std::move(payload), transport, bytes,
+                        sample_one_way_delay(cond));
+    }
+    return;
+  }
+
+  // Reliable: loss becomes retransmission delay; delivery is FIFO per pair.
+  int retransmits = 0;
+  while (retransmits < config_.max_retransmits && rng_.bernoulli(cond.loss)) {
+    ++retransmits;
+    delay += cond.rtt + config_.retransmit_penalty;
+  }
+
+  if (config_.tcp_turbulence) {
+    // Detect an abrupt RTT upshift on this stream: the sender's RTO was
+    // computed for the old RTT, so segments in flight look lost and the
+    // head of the in-order stream thrashes through retransmit backoff for a
+    // few new-RTT periods. Everything sent inside the window is blocked
+    // behind it and departs when the stream recovers.
+    StreamState& st = streams_[{from, to}];
+    const bool jumped = st.last_rtt > Duration{0} &&
+                        to_ms(cond.rtt) > to_ms(st.last_rtt) * (1.0 + config_.turbulence_threshold);
+    const Duration activity_window =
+        std::max(st.last_rtt * 4, Duration(std::chrono::milliseconds(250)));
+    const bool was_active = st.last_send != kNever && sim_->now() - st.last_send <= activity_window;
+    if (jumped && was_active) {
+      st.turbulent_until =
+          sim_->now() + from_ms(to_ms(cond.rtt) * config_.turbulence_duration_rtts);
+    }
+    st.last_rtt = cond.rtt;
+    st.last_send = sim_->now();
+    if (sim_->now() < st.turbulent_until) {
+      delay += st.turbulent_until - sim_->now();
+    }
+  }
+
+  schedule_delivery(from, to, std::move(payload), transport, bytes, delay);
+}
+
+void Network::schedule_delivery(NodeId from, NodeId to, std::any payload, Transport transport,
+                                std::size_t bytes, Duration delay) {
+  TimePoint when = sim_->now() + delay;
+  if (transport == Transport::Reliable) {
+    // Enforce FIFO per directed pair: a message never overtakes its
+    // predecessor on the same stream.
+    TimePoint& last = reliable_last_delivery_[{from, to}];
+    when = std::max(when, last + Duration{1});
+    last = when;
+  }
+  sim_->schedule_at(when, [this, from, to, payload = std::move(payload), transport, bytes] {
+    deliver(from, to, payload, transport, bytes);
+  });
+}
+
+void Network::deliver(NodeId from, NodeId to, const std::any& payload, Transport transport,
+                      std::size_t bytes) {
+  NodeState& dst = state(to);
+  if (dst.paused) {
+    if (transport == Transport::Datagram) {
+      dst.traffic.dropped_paused += 1;
+      return;
+    }
+    dst.parked.emplace_back(from, payload);
+    return;
+  }
+  dst.traffic.received += 1;
+  dst.traffic.received_bytes += bytes;
+  if (dst.handler) dst.handler(from, payload);
+}
+
+void Network::set_paused(NodeId node, bool paused) {
+  NodeState& st = state(node);
+  if (st.paused == paused) return;
+  st.paused = paused;
+  if (!paused && !st.parked.empty()) {
+    // Flush parked reliable traffic in arrival order, "now".
+    auto parked = std::move(st.parked);
+    st.parked.clear();
+    for (auto& [from, payload] : parked) {
+      sim_->schedule_after(Duration{0}, [this, from, node, payload = std::move(payload)] {
+        deliver(from, node, payload, Transport::Reliable, 0);
+      });
+    }
+  }
+}
+
+}  // namespace dyna::net

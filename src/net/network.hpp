@@ -1,0 +1,241 @@
+// Simulated message network with two transport classes.
+//
+// The paper's implementation sends heartbeats over UDP (so loss/reordering is
+// observable — that is what the measurement needs) and all other Raft traffic
+// over TCP. We model the same split:
+//
+//  * Transport::Datagram — each message independently suffers the link's
+//    delay + jitter, can be lost, duplicated, and reordered (reordering
+//    emerges from jitter; no ordering is enforced).
+//  * Transport::Reliable — never lost and delivered in FIFO order per
+//    directed (src,dst) pair; packet loss instead manifests as retransmission
+//    delay (a small number of RTT-scale penalties), mimicking TCP recovery.
+//
+// Node pause ("container sleep", the paper's fault model): a paused node's
+// datagrams are dropped on delivery (UDP buffer overflow) while reliable
+// messages queue and flush on resume (kernel TCP buffering).
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/condition.hpp"
+#include "sim/simulator.hpp"
+
+namespace dyna::net {
+
+enum class Transport : std::uint8_t {
+  Datagram,  ///< lossy, unordered (UDP-like) — used for Dynatune heartbeats
+  Reliable,  ///< lossless, FIFO per pair, loss => extra delay (TCP-like)
+};
+
+/// Called on the destination node when a message arrives.
+using Handler = std::function<void(NodeId from, const std::any& payload)>;
+
+/// Per-node traffic counters (message accounting for CPU/bandwidth models).
+struct NodeTraffic {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t sent_bytes = 0;
+  std::uint64_t received_bytes = 0;
+  std::uint64_t lost = 0;           ///< datagrams dropped by link loss
+  std::uint64_t dropped_paused = 0; ///< datagrams dropped because node paused
+};
+
+/// Node-level processing stalls: models CPU oversubscription, GC pauses and
+/// scheduler hiccups (the paper's testbed ran five 4-core containers on a
+/// 12-core Xeon). While a node is stalled, its outgoing messages queue until
+/// the stall ends and incoming deliveries are deferred — a correlated
+/// disturbance across all of the node's links, which is precisely what trips
+/// aggressively-tuned static timeouts (Raft-Low) while Dynatune's σ-term
+/// absorbs it into the measured RTT distribution.
+struct StallConfig {
+  /// Mean gap between stalls per node; zero disables stalls.
+  Duration mean_interval{0};
+  /// Stall durations are lognormal with this median (ms) ...
+  double duration_median_ms = 30.0;
+  /// ... and this ln-space sigma.
+  double duration_sigma = 1.0;
+};
+
+class Network {
+ public:
+  /// Knobs for the reliable transport's loss-recovery model.
+  struct Config {
+    /// Extra delay charged per simulated retransmission round.
+    Duration retransmit_penalty = std::chrono::milliseconds(20);
+    /// Cap on retransmission rounds per message (keeps tails bounded).
+    int max_retransmits = 8;
+    /// Processing-stall process applied to every node.
+    StallConfig stall;
+    /// TCP turbulence after an abrupt RTT increase: when a link's RTT jumps
+    /// by more than `turbulence_threshold`, the sender's RTO/cwnd state is
+    /// stale — segments in flight look lost, the head of the stream is
+    /// spuriously retransmitted with exponential backoff, and in-order
+    /// delivery blocks everything behind it. We model this as a stream
+    /// outage: reliable messages sent inside the turbulence window depart
+    /// when the window closes. Datagram traffic is unaffected — this
+    /// asymmetry is exactly why Dynatune moves heartbeats to UDP.
+    /// Only streams that were *active* at the jump carry stale RTO state; an
+    /// idle connection's first post-jump packet just sees the new RTT. A
+    /// stream counts as active if it sent within max(4 x old RTT, 250 ms).
+    bool tcp_turbulence = true;
+    double turbulence_threshold = 0.5;     ///< relative RTT jump that triggers it
+    double turbulence_duration_rtts = 1.5; ///< outage length in new-RTT units
+  };
+
+  Network(sim::Simulator& simulator, Rng rng, Config config)
+      : sim_(&simulator), rng_(std::move(rng)), config_(config) {}
+
+  Network(sim::Simulator& simulator, Rng rng)
+      : Network(simulator, std::move(rng), Config{}) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Register a node; returns its id. Handlers may be set/replaced later
+  /// (nodes are constructed after the network exists).
+  NodeId add_node(Handler handler = nullptr) {
+    nodes_.push_back(NodeState{});
+    nodes_.back().handler = std::move(handler);
+    return static_cast<NodeId>(nodes_.size() - 1);
+  }
+
+  void set_handler(NodeId node, Handler handler) {
+    state(node).handler = std::move(handler);
+  }
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// Default schedule for every link without a specific override.
+  void set_default_schedule(ConditionSchedule schedule) {
+    default_schedule_ = std::move(schedule);
+  }
+
+  /// Directed-link override. Use both orders for a symmetric path.
+  void set_link_schedule(NodeId from, NodeId to, ConditionSchedule schedule) {
+    DYNA_EXPECTS(valid(from) && valid(to));
+    link_overrides_[{from, to}] = std::move(schedule);
+  }
+
+  /// Symmetric convenience: applies to both directions.
+  void set_path_schedule(NodeId a, NodeId b, const ConditionSchedule& schedule) {
+    set_link_schedule(a, b, schedule);
+    set_link_schedule(b, a, schedule);
+  }
+
+  [[nodiscard]] const LinkCondition& condition(NodeId from, NodeId to) const {
+    const auto it = link_overrides_.find({from, to});
+    const ConditionSchedule& sched = it != link_overrides_.end() ? it->second : default_schedule_;
+    return sched.at(sim_->now());
+  }
+
+  /// Send `payload` from `from` to `to`. `bytes` feeds traffic accounting
+  /// only; delivery semantics depend on the transport class.
+  void send(NodeId from, NodeId to, std::any payload, Transport transport,
+            std::size_t bytes = 256);
+
+  // ---- Fault injection -----------------------------------------------------
+
+  /// Freeze / unfreeze a node's network endpoint (see file comment).
+  void set_paused(NodeId node, bool paused);
+
+  [[nodiscard]] bool paused(NodeId node) const { return state(node).paused; }
+
+  /// Directionally block a link (network partition). Blocked messages are
+  /// silently dropped for Datagram and for Reliable alike (a partition is
+  /// indistinguishable from an endless outage, which TCP also cannot cross).
+  void set_blocked(NodeId from, NodeId to, bool blocked) {
+    DYNA_EXPECTS(valid(from) && valid(to));
+    if (blocked) {
+      blocked_.insert({from, to});
+    } else {
+      blocked_.erase({from, to});
+    }
+  }
+
+  /// Partition the node from everyone, both directions.
+  void isolate(NodeId node, bool isolated) {
+    for (NodeId other = 0; other < static_cast<NodeId>(nodes_.size()); ++other) {
+      if (other == node) continue;
+      set_blocked(node, other, isolated);
+      set_blocked(other, node, isolated);
+    }
+  }
+
+  // ---- Introspection --------------------------------------------------------
+
+  [[nodiscard]] const NodeTraffic& traffic(NodeId node) const { return state(node).traffic; }
+
+  /// Remaining stall time if `node` is stalled at `t` (lazy renewal process).
+  [[nodiscard]] Duration stall_penalty(NodeId node, TimePoint t);
+
+ private:
+  struct StallWindow {
+    TimePoint start = kNever;
+    TimePoint end = kSimEpoch;
+  };
+
+  /// Advance the stall renewal process by one window.
+  void roll_stall(StallWindow& window);
+
+  struct NodeState {
+    Handler handler;
+    bool paused = false;
+    /// Reliable messages that arrived while paused; flushed on resume.
+    std::deque<std::pair<NodeId, std::any>> parked;
+    NodeTraffic traffic;
+    StallWindow stall;
+  };
+
+  [[nodiscard]] bool valid(NodeId n) const noexcept {
+    return n >= 0 && static_cast<std::size_t>(n) < nodes_.size();
+  }
+
+  NodeState& state(NodeId n) {
+    DYNA_EXPECTS(valid(n));
+    return nodes_[static_cast<std::size_t>(n)];
+  }
+
+  const NodeState& state(NodeId n) const {
+    DYNA_EXPECTS(valid(n));
+    return nodes_[static_cast<std::size_t>(n)];
+  }
+
+  /// Sample a one-way delay for the current condition of (from,to).
+  [[nodiscard]] Duration sample_one_way_delay(const LinkCondition& cond);
+
+  void deliver(NodeId from, NodeId to, const std::any& payload, Transport transport,
+               std::size_t bytes);
+
+  void schedule_delivery(NodeId from, NodeId to, std::any payload, Transport transport,
+                         std::size_t bytes, Duration delay);
+
+  /// Per-directed-link TCP state for the turbulence model.
+  struct StreamState {
+    Duration last_rtt{0};
+    TimePoint last_send = kNever;  // kNever => never sent
+    TimePoint turbulent_until = kSimEpoch;
+  };
+
+  sim::Simulator* sim_;
+  Rng rng_;
+  Config config_;
+  ConditionSchedule default_schedule_{};
+  std::vector<NodeState> nodes_;
+  std::map<std::pair<NodeId, NodeId>, ConditionSchedule> link_overrides_;
+  std::map<std::pair<NodeId, NodeId>, TimePoint> reliable_last_delivery_;
+  std::map<std::pair<NodeId, NodeId>, StreamState> streams_;
+  std::set<std::pair<NodeId, NodeId>> blocked_;
+};
+
+}  // namespace dyna::net

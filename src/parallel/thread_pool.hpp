@@ -1,0 +1,104 @@
+// Minimal fixed-size thread pool for trial-level parallelism.
+//
+// Discrete-event trials are single-threaded by design (determinism); Monte
+// Carlo sweeps run many independent trials, so the parallelism lives here:
+// N worker threads drain a task queue. Exceptions propagate to the waiter.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dyna::par {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads = std::thread::hardware_concurrency()) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  void post(std::function<void()> task) {
+    DYNA_EXPECTS(task != nullptr);
+    {
+      std::lock_guard lock(mu_);
+      DYNA_EXPECTS(!stopping_);
+      queue_.push_back(std::move(task));
+      ++unfinished_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Block until every posted task has finished. Rethrows the first task
+  /// exception (if any occurred).
+  void wait_idle() {
+    std::unique_lock lock(mu_);
+    idle_cv_.wait(lock, [this] { return unfinished_ == 0; });
+    if (first_error_) {
+      const std::exception_ptr e = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard lock(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      {
+        std::lock_guard lock(mu_);
+        --unfinished_;
+        if (unfinished_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t unfinished_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace dyna::par

@@ -1,0 +1,66 @@
+// Election-parameter policy: the seam where Dynatune plugs into Raft.
+//
+// The Raft node owns the mechanics (timers, heartbeat ids, timestamp echoes,
+// RTT computation from echoes); the policy decides the *parameters*:
+// the follower-side election timeout Et and the leader-side per-follower
+// heartbeat interval h. The baseline static policy returns the configured
+// constants; DynatunePolicy (src/dynatune) implements the paper's tuning.
+#pragma once
+
+#include <optional>
+
+#include "common/types.hpp"
+#include "raft/message.hpp"
+#include "raft/types.hpp"
+
+namespace dyna::raft {
+
+class ElectionPolicy {
+ public:
+  virtual ~ElectionPolicy() = default;
+
+  /// Election timeout Et this node should use right now as a follower.
+  [[nodiscard]] virtual Duration election_timeout() const = 0;
+
+  /// Heartbeat interval the leader should use toward `follower`.
+  [[nodiscard]] virtual Duration heartbeat_interval(NodeId follower) const = 0;
+
+  /// Follower side: heartbeat metadata arrived from the current leader.
+  /// Returns the tuned h to piggyback on the response, if any.
+  virtual std::optional<Duration> on_heartbeat_meta(NodeId /*leader*/,
+                                                    const HeartbeatMeta& /*meta*/,
+                                                    TimePoint /*now*/) {
+    return std::nullopt;
+  }
+
+  /// Leader side: a follower piggybacked a tuned heartbeat interval.
+  virtual void on_tuned_heartbeat(NodeId /*follower*/, Duration /*h*/) {}
+
+  /// This node's election timer expired (real failure or false detection).
+  /// Dynatune discards measurement state and falls back to defaults here.
+  virtual void on_election_timeout() {}
+
+  /// The node observed a (possibly new) leader for `term`.
+  virtual void on_leader_changed(NodeId /*leader*/, Term /*term*/) {}
+
+  /// This node just became leader: any per-follower leader-side state from a
+  /// previous reign must reset.
+  virtual void on_became_leader() {}
+};
+
+/// Baseline policy: the static parameters every mainstream Raft deployment
+/// uses (paper's "Raft" and "Raft-Low" variants).
+class StaticPolicy final : public ElectionPolicy {
+ public:
+  StaticPolicy(Duration election_timeout, Duration heartbeat_interval)
+      : et_(election_timeout), h_(heartbeat_interval) {}
+
+  [[nodiscard]] Duration election_timeout() const override { return et_; }
+  [[nodiscard]] Duration heartbeat_interval(NodeId) const override { return h_; }
+
+ private:
+  Duration et_;
+  Duration h_;
+};
+
+}  // namespace dyna::raft

@@ -1,0 +1,127 @@
+// Raft wire protocol, including the Dynatune measurement metadata.
+//
+// Dynatune's rule is to piggyback everything on existing messages: the leader
+// stamps heartbeats with a sequential id, its local send timestamp, and the
+// RTT it measured on the previous exchange; the follower echoes the stamp
+// (so the leader can compute RTT on its own clock, immune to skew) and rides
+// its freshly tuned heartbeat interval back on the response. No new message
+// types are introduced — exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+#include "raft/types.hpp"
+
+namespace dyna::raft {
+
+/// Measurement metadata attached to heartbeats when network measurement is
+/// enabled (Dynatune mode). Absent in baseline Raft.
+struct HeartbeatMeta {
+  std::uint64_t id = 0;                 ///< per (leader,follower) sequence number
+  TimePoint send_ts{};                  ///< leader-local send timestamp
+  std::optional<Duration> measured_rtt; ///< RTT of the previous exchange
+};
+
+struct AppendEntriesRequest {
+  Term term = 0;
+  NodeId leader = kNoNode;
+  LogIndex prev_log_index = 0;
+  Term prev_log_term = 0;
+  std::vector<LogEntry> entries;
+  LogIndex leader_commit = 0;
+  std::optional<HeartbeatMeta> meta;  ///< present on measurement heartbeats
+
+  [[nodiscard]] bool is_heartbeat() const noexcept { return entries.empty(); }
+};
+
+struct AppendEntriesResponse {
+  Term term = 0;
+  bool success = false;
+  bool heartbeat = false;     ///< answers an empty (heartbeat) AppendEntries
+  LogIndex match_index = 0;   ///< valid when success
+  LogIndex conflict_hint = 0; ///< leader backs next_index off to this on reject
+  // --- Dynatune piggyback ---
+  std::optional<std::uint64_t> echo_id;  ///< heartbeat id being answered
+  std::optional<TimePoint> echo_send_ts; ///< leader timestamp echoed verbatim
+  std::optional<Duration> tuned_heartbeat; ///< follower-computed h for this path
+};
+
+struct PreVoteRequest {
+  Term term = 0;  ///< target term: candidate's current term + 1 (not persisted)
+  NodeId candidate = kNoNode;
+  LogIndex last_log_index = 0;
+  Term last_log_term = 0;
+};
+
+struct PreVoteResponse {
+  Term term = 0;         ///< voter's current term (for candidate step-down)
+  Term target_term = 0;  ///< the prospective term this grant is for
+  bool granted = false;
+};
+
+struct RequestVoteRequest {
+  Term term = 0;
+  NodeId candidate = kNoNode;
+  LogIndex last_log_index = 0;
+  Term last_log_term = 0;
+};
+
+struct RequestVoteResponse {
+  Term term = 0;
+  bool granted = false;
+};
+
+struct ClientRequest {
+  Command command;
+};
+
+struct ClientResponse {
+  bool ok = false;
+  NodeId leader_hint = kNoNode;  ///< where to retry when ok == false
+  std::uint64_t client_seq = 0;
+  LogIndex index = 0;            ///< log position the command committed at
+  std::string result;            ///< state-machine output
+};
+
+using Message = std::variant<AppendEntriesRequest, AppendEntriesResponse, PreVoteRequest,
+                             PreVoteResponse, RequestVoteRequest, RequestVoteResponse,
+                             ClientRequest, ClientResponse>;
+
+/// Message classes for traffic/CPU accounting.
+enum class MsgKind : std::uint8_t {
+  Heartbeat,
+  HeartbeatResponse,
+  Append,
+  AppendResponse,
+  PreVote,
+  PreVoteResponse,
+  Vote,
+  VoteResponse,
+  Client,
+  ClientResponse,
+};
+
+/// Rough wire size used for traffic accounting (bytes).
+[[nodiscard]] inline std::size_t approx_size(const Message& m) {
+  struct Sizer {
+    std::size_t operator()(const AppendEntriesRequest& r) const {
+      std::size_t s = 64;
+      for (const auto& e : r.entries) s += 48 + e.command.payload.size();
+      return s;
+    }
+    std::size_t operator()(const AppendEntriesResponse&) const { return 64; }
+    std::size_t operator()(const PreVoteRequest&) const { return 48; }
+    std::size_t operator()(const PreVoteResponse&) const { return 32; }
+    std::size_t operator()(const RequestVoteRequest&) const { return 48; }
+    std::size_t operator()(const RequestVoteResponse&) const { return 32; }
+    std::size_t operator()(const ClientRequest& r) const { return 48 + r.command.payload.size(); }
+    std::size_t operator()(const ClientResponse& r) const { return 48 + r.result.size(); }
+  };
+  return std::visit(Sizer{}, m);
+}
+
+}  // namespace dyna::raft

@@ -1,0 +1,718 @@
+#include "raft/node.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dyna::raft {
+
+namespace {
+
+[[nodiscard]] MsgKind kind_of(const Message& m) {
+  struct Kinder {
+    MsgKind operator()(const AppendEntriesRequest& r) const {
+      return r.is_heartbeat() ? MsgKind::Heartbeat : MsgKind::Append;
+    }
+    MsgKind operator()(const AppendEntriesResponse& r) const {
+      return r.heartbeat ? MsgKind::HeartbeatResponse : MsgKind::AppendResponse;
+    }
+    MsgKind operator()(const PreVoteRequest&) const { return MsgKind::PreVote; }
+    MsgKind operator()(const PreVoteResponse&) const { return MsgKind::PreVoteResponse; }
+    MsgKind operator()(const RequestVoteRequest&) const { return MsgKind::Vote; }
+    MsgKind operator()(const RequestVoteResponse&) const { return MsgKind::VoteResponse; }
+    MsgKind operator()(const ClientRequest&) const { return MsgKind::Client; }
+    MsgKind operator()(const ClientResponse&) const { return MsgKind::ClientResponse; }
+  };
+  return std::visit(Kinder{}, m);
+}
+
+}  // namespace
+
+RaftNode::RaftNode(NodeId id, std::vector<NodeId> peers, sim::Simulator& simulator,
+                   net::Network& network, RaftConfig config, std::shared_ptr<Storage> storage,
+                   std::unique_ptr<ElectionPolicy> policy, Rng rng)
+    : id_(id),
+      peers_(std::move(peers)),
+      sim_(&simulator),
+      net_(&network),
+      config_(config),
+      storage_(std::move(storage)),
+      policy_(std::move(policy)),
+      rng_(std::move(rng)),
+      election_timer_(simulator, [this] { on_election_deadline(); }) {
+  DYNA_EXPECTS(storage_ != nullptr);
+  DYNA_EXPECTS(policy_ != nullptr);
+  DYNA_EXPECTS(std::find(peers_.begin(), peers_.end(), id_) == peers_.end());
+}
+
+void RaftNode::start() {
+  DYNA_EXPECTS(!running_);
+  auto [term, voted_for] = storage_->load_hard_state();
+  term_ = term;
+  voted_for_ = voted_for;
+  log_ = storage_->load_log();
+  running_ = true;
+  role_ = Role::Follower;
+  leader_ = kNoNode;
+  refresh_randomized_timeout(/*force_redraw=*/true);
+  election_timer_.arm(randomized_timeout_);
+}
+
+void RaftNode::stop() {
+  running_ = false;
+  election_timer_.cancel();
+  heartbeat_timers_.clear();
+  broadcast_timer_.reset();
+}
+
+void RaftNode::add_observer(Observer* observer) {
+  DYNA_EXPECTS(observer != nullptr);
+  observers_.push_back(observer);
+}
+
+std::optional<Duration> RaftNode::last_measured_rtt(NodeId follower) const {
+  const auto it = last_rtt_.find(follower);
+  if (it == last_rtt_.end()) return std::nullopt;
+  return it->second;
+}
+
+// ---- Pause / resume ("container sleep") --------------------------------------
+
+void RaftNode::pause() {
+  if (paused_ || !running_) return;
+  paused_ = true;
+  const TimePoint now = sim_->now();
+  if (election_timer_.armed()) {
+    frozen_election_remaining_ = election_timer_.deadline() - now;
+    election_timer_.cancel();
+  }
+  for (auto& [follower, timer] : heartbeat_timers_) {
+    if (timer->armed()) {
+      frozen_heartbeat_remaining_[follower] = timer->deadline() - now;
+      timer->cancel();
+    }
+  }
+  if (broadcast_timer_ && broadcast_timer_->armed()) {
+    frozen_broadcast_remaining_ = broadcast_timer_->deadline() - now;
+    broadcast_timer_->cancel();
+  }
+}
+
+void RaftNode::resume() {
+  if (!paused_ || !running_) return;
+  paused_ = false;
+  if (frozen_election_remaining_) {
+    election_timer_.arm(*frozen_election_remaining_);
+    frozen_election_remaining_.reset();
+  } else if (role_ != Role::Leader) {
+    reset_election_timer();
+  }
+  for (auto& [follower, remaining] : frozen_heartbeat_remaining_) {
+    const auto it = heartbeat_timers_.find(follower);
+    if (it != heartbeat_timers_.end()) it->second->arm(remaining);
+  }
+  frozen_heartbeat_remaining_.clear();
+  if (frozen_broadcast_remaining_ && broadcast_timer_) {
+    broadcast_timer_->arm(*frozen_broadcast_remaining_);
+  }
+  frozen_broadcast_remaining_.reset();
+}
+
+// ---- Timers -------------------------------------------------------------------
+
+Duration RaftNode::draw_randomized_timeout(Duration base) {
+  // randomizedTimeout is uniform in [Et, 2*Et). etcd counts in ticks, so with
+  // a coarse tick the draw is quantized (baseline: 100 ms steps).
+  if (config_.tick > Duration{0} && base >= config_.tick) {
+    const auto ticks = static_cast<std::uint64_t>(base.count() / config_.tick.count());
+    const std::uint64_t randomized = ticks + rng_.uniform_index(ticks);
+    return config_.tick * static_cast<std::int64_t>(randomized);
+  }
+  const double base_ms = to_ms(base);
+  return from_ms(base_ms + rng_.uniform(0.0, base_ms));
+}
+
+void RaftNode::refresh_randomized_timeout(bool force_redraw) {
+  const Duration base = policy_->election_timeout();
+  // Hysteresis: retuning shifts Et by a hair on every heartbeat (fresh RTT
+  // sample); redrawing for sub-2% changes would churn the randomization for
+  // no benefit. Structural changes (RTT steps, fallback) always exceed it.
+  const auto delta = base > randomized_base_ ? base - randomized_base_ : randomized_base_ - base;
+  if (force_redraw || delta * 50 > base) {
+    randomized_base_ = base;
+    randomized_timeout_ = draw_randomized_timeout(base);
+  }
+}
+
+void RaftNode::reset_election_timer() {
+  refresh_randomized_timeout(/*force_redraw=*/false);
+  election_timer_.arm(randomized_timeout_);
+}
+
+void RaftNode::on_election_deadline() {
+  if (!running_ || paused_) return;
+  if (role_ == Role::Leader) return;  // stale (leaders cancel this timer)
+
+  for (Observer* o : observers_) o->on_election_timeout(id_, term_, sim_->now());
+  // Dynatune: discard measurement state, fall back to conservative defaults.
+  policy_->on_election_timeout();
+  leader_ = kNoNode;
+
+  if (config_.prevote) {
+    start_prevote();
+  } else {
+    start_election();
+  }
+}
+
+// ---- Role transitions -----------------------------------------------------------
+
+void RaftNode::notify_role_change(Role from, Role to) {
+  if (from == to) return;
+  for (Observer* o : observers_) o->on_role_change(id_, from, to, term_, sim_->now());
+}
+
+void RaftNode::become_follower(Term term, NodeId leader) {
+  const Role old_role = role_;
+  DYNA_EXPECTS(term >= term_);
+  const bool term_changed = term > term_;
+  if (term_changed) {
+    term_ = term;
+    voted_for_ = kNoNode;
+    persist_hard_state();
+  }
+  role_ = Role::Follower;
+  if (leader != kNoNode && leader != leader_) {
+    leader_ = leader;
+    policy_->on_leader_changed(leader, term_);
+  } else if (leader != kNoNode) {
+    leader_ = leader;
+  } else if (term_changed) {
+    leader_ = kNoNode;
+  }
+  prevote_target_ = 0;  // grants gathered before this step-down are void
+  prevote_grants_.clear();
+  vote_grants_.clear();
+  heartbeat_timers_.clear();
+  broadcast_timer_.reset();
+  notify_role_change(old_role, role_);
+  if (term_changed || old_role != Role::Follower) {
+    refresh_randomized_timeout(/*force_redraw=*/true);
+  }
+  reset_election_timer();
+}
+
+void RaftNode::start_prevote() {
+  const Role old_role = role_;
+  role_ = Role::PreCandidate;
+  notify_role_change(old_role, role_);
+  // Grants accumulate across retry rounds for the same prospective term;
+  // they only reset when the target term moves.
+  if (prevote_target_ != term_ + 1) {
+    prevote_target_ = term_ + 1;
+    prevote_grants_.clear();
+  }
+  prevote_grants_.insert(id_);
+  // Fresh randomized draw for the retry round (the paper's "randomizes ...
+  // each time a timeout occurs").
+  refresh_randomized_timeout(/*force_redraw=*/true);
+  election_timer_.arm(randomized_timeout_);
+  if (prevote_grants_.size() >= majority()) {
+    start_election();
+    return;
+  }
+  PreVoteRequest req;
+  req.term = prevote_target_;
+  req.candidate = id_;
+  req.last_log_index = last_log_index();
+  req.last_log_term = term_at(last_log_index());
+  for (NodeId peer : peers_) {
+    send(peer, req, net::Transport::Reliable, MsgKind::PreVote);
+  }
+}
+
+void RaftNode::start_election() {
+  const Role old_role = role_;
+  role_ = Role::Candidate;
+  ++term_;
+  voted_for_ = id_;
+  persist_hard_state();
+  leader_ = kNoNode;
+  vote_grants_.clear();
+  vote_grants_.insert(id_);
+  notify_role_change(old_role, role_);
+  refresh_randomized_timeout(/*force_redraw=*/true);
+  election_timer_.arm(randomized_timeout_);
+  if (vote_grants_.size() >= majority()) {
+    become_leader();
+    return;
+  }
+  RequestVoteRequest req;
+  req.term = term_;
+  req.candidate = id_;
+  req.last_log_index = last_log_index();
+  req.last_log_term = term_at(last_log_index());
+  for (NodeId peer : peers_) {
+    send(peer, req, net::Transport::Reliable, MsgKind::Vote);
+  }
+}
+
+void RaftNode::become_leader() {
+  DYNA_EXPECTS(role_ == Role::Candidate);
+  const Role old_role = role_;
+  role_ = Role::Leader;
+  leader_ = id_;
+  notify_role_change(old_role, role_);
+  for (Observer* o : observers_) o->on_leader_established(id_, term_, sim_->now());
+  policy_->on_became_leader();
+
+  election_timer_.cancel();
+  next_index_.clear();
+  match_index_.clear();
+  next_heartbeat_id_.clear();
+  last_rtt_.clear();
+  last_sent_to_.clear();
+  for (NodeId peer : peers_) {
+    next_index_[peer] = last_log_index() + 1;
+    match_index_[peer] = 0;
+  }
+
+  // Commit a no-op for the new term so earlier-term entries become
+  // committable (Raft §5.4.2).
+  LogEntry noop;
+  noop.term = term_;
+  noop.index = last_log_index() + 1;
+  log_.push_back(noop);
+  storage_->append(std::span<const LogEntry>(&log_.back(), 1));
+
+  for (NodeId peer : peers_) {
+    replicate_to(peer);
+  }
+  maybe_advance_commit();
+  arm_heartbeat_timers();
+}
+
+// ---- Leader machinery ------------------------------------------------------------
+
+void RaftNode::arm_heartbeat_timers() {
+  if (config_.per_follower_heartbeat) {
+    for (NodeId peer : peers_) {
+      auto timer = std::make_unique<sim::Timer>(*sim_, [this, peer] {
+        if (role_ != Role::Leader || !running_ || paused_) return;
+        send_heartbeat(peer);
+        const auto it = heartbeat_timers_.find(peer);
+        if (it != heartbeat_timers_.end()) it->second->arm(policy_->heartbeat_interval(peer));
+      });
+      // Stagger the initial phase per follower: real per-follower timers are
+      // desynchronized, and keeping them so prevents every follower's
+      // election timer from being reset in lockstep (which would manufacture
+      // artificial split-vote storms on leader failure).
+      const Duration h = policy_->heartbeat_interval(peer);
+      timer->arm(h / 2 + from_ms(to_ms(h) * 0.5 * rng_.uniform()));
+      heartbeat_timers_[peer] = std::move(timer);
+    }
+  } else {
+    broadcast_timer_ = std::make_unique<sim::Timer>(*sim_, [this] {
+      if (role_ != Role::Leader || !running_ || paused_) return;
+      broadcast_heartbeats();
+      broadcast_timer_->arm(broadcast_interval());
+    });
+    broadcast_timer_->arm(broadcast_interval());
+  }
+}
+
+Duration RaftNode::broadcast_interval() const {
+  if (!config_.consolidated_heartbeat_timer) return config_.heartbeat_interval;
+  // §IV-E (b): one timer paced at the minimum tuned h across followers, so
+  // every path still receives at least its required heartbeat rate.
+  Duration min_h = config_.heartbeat_interval;
+  for (const NodeId peer : peers_) {
+    min_h = std::min(min_h, policy_->heartbeat_interval(peer));
+  }
+  return std::max(min_h, Duration(std::chrono::milliseconds(1)));
+}
+
+void RaftNode::broadcast_heartbeats() {
+  for (NodeId peer : peers_) send_heartbeat(peer);
+}
+
+void RaftNode::send_heartbeat(NodeId follower) {
+  if (role_ != Role::Leader) return;
+  // Heartbeats double as replication retries: if the follower is behind,
+  // ship entries instead of an empty beat.
+  if (next_index_[follower] <= last_log_index()) {
+    replicate_to(follower);
+    return;
+  }
+  // §IV-E (a): replication traffic within the current interval already reset
+  // the follower's election timer — skip the redundant empty beat.
+  if (config_.suppress_heartbeats_under_load) {
+    const auto it = last_sent_to_.find(follower);
+    if (it != last_sent_to_.end() &&
+        sim_->now() - it->second < policy_->heartbeat_interval(follower)) {
+      return;
+    }
+  }
+  AppendEntriesRequest req;
+  req.term = term_;
+  req.leader = id_;
+  req.prev_log_index = last_log_index();
+  req.prev_log_term = term_at(req.prev_log_index);
+  req.leader_commit = commit_index_;
+  if (config_.measure_network) {
+    HeartbeatMeta meta;
+    meta.id = ++next_heartbeat_id_[follower];
+    meta.send_ts = sim_->now();
+    const auto it = last_rtt_.find(follower);
+    if (it != last_rtt_.end()) meta.measured_rtt = it->second;
+    req.meta = meta;
+  }
+  const auto transport =
+      config_.datagram_heartbeats ? net::Transport::Datagram : net::Transport::Reliable;
+  last_sent_to_[follower] = sim_->now();
+  send(follower, std::move(req), transport, MsgKind::Heartbeat);
+}
+
+void RaftNode::schedule_flush() {
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  sim_->schedule_after(config_.batch_delay, [this] {
+    flush_scheduled_ = false;
+    if (!running_ || paused_) return;
+    flush_replication();
+  });
+}
+
+void RaftNode::flush_replication() {
+  if (role_ != Role::Leader) return;
+  for (NodeId peer : peers_) {
+    if (next_index_[peer] <= last_log_index()) replicate_to(peer);
+  }
+  maybe_advance_commit();
+}
+
+void RaftNode::replicate_to(NodeId follower) {
+  DYNA_EXPECTS(role_ == Role::Leader);
+  const LogIndex next = next_index_[follower];
+  AppendEntriesRequest req;
+  req.term = term_;
+  req.leader = id_;
+  req.prev_log_index = next - 1;
+  req.prev_log_term = term_at(req.prev_log_index);
+  req.leader_commit = commit_index_;
+  const LogIndex last = last_log_index();
+  if (next <= last) {
+    const std::size_t count =
+        std::min<std::size_t>(last - next + 1, config_.max_entries_per_append);
+    req.entries.assign(log_.begin() + static_cast<std::ptrdiff_t>(next - 1),
+                       log_.begin() + static_cast<std::ptrdiff_t>(next - 1 + count));
+    // Pipeline optimistically; rejections rewind next_index below.
+    next_index_[follower] = next + count;
+  }
+  const MsgKind kind = req.entries.empty() ? MsgKind::Heartbeat : MsgKind::Append;
+  last_sent_to_[follower] = sim_->now();
+  send(follower, std::move(req), net::Transport::Reliable, kind);
+}
+
+void RaftNode::maybe_advance_commit() {
+  if (role_ != Role::Leader) return;
+  std::vector<LogIndex> matches;
+  matches.reserve(peers_.size() + 1);
+  matches.push_back(last_log_index());  // leader matches itself
+  for (const auto& [peer, match] : match_index_) matches.push_back(match);
+  std::sort(matches.begin(), matches.end(), std::greater<>());
+  const LogIndex candidate = matches[majority() - 1];
+  if (candidate > commit_index_ && term_at(candidate) == term_) {
+    commit_index_ = candidate;
+    apply_committed();
+  }
+}
+
+void RaftNode::apply_committed() {
+  while (last_applied_ < commit_index_) {
+    ++last_applied_;
+    const LogEntry& entry = log_[last_applied_ - 1];
+    std::string result;
+    if (apply_ && !entry.command.is_noop()) result = apply_(entry);
+    for (Observer* o : observers_) o->on_entry_committed(id_, entry, sim_->now());
+    if (role_ == Role::Leader && entry.command.client != kNoNode) {
+      ClientResponse resp;
+      resp.ok = true;
+      resp.leader_hint = id_;
+      resp.client_seq = entry.command.client_seq;
+      resp.index = entry.index;
+      resp.result = std::move(result);
+      send(entry.command.client, std::move(resp), net::Transport::Reliable,
+           MsgKind::ClientResponse);
+    }
+  }
+}
+
+// ---- Message dispatch --------------------------------------------------------------
+
+void RaftNode::handle_message(NodeId from, const Message& message) {
+  if (!running_ || paused_) return;
+  for (Observer* o : observers_) {
+    o->on_message_received(id_, from, kind_of(message), approx_size(message), sim_->now());
+  }
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, AppendEntriesRequest>) {
+          on_append_entries(from, m);
+        } else if constexpr (std::is_same_v<T, AppendEntriesResponse>) {
+          on_append_response(from, m);
+        } else if constexpr (std::is_same_v<T, PreVoteRequest>) {
+          on_prevote_request(from, m);
+        } else if constexpr (std::is_same_v<T, PreVoteResponse>) {
+          on_prevote_response(from, m);
+        } else if constexpr (std::is_same_v<T, RequestVoteRequest>) {
+          on_vote_request(from, m);
+        } else if constexpr (std::is_same_v<T, RequestVoteResponse>) {
+          on_vote_response(from, m);
+        } else if constexpr (std::is_same_v<T, ClientRequest>) {
+          on_client_request(from, m);
+        } else {
+          static_assert(std::is_same_v<T, ClientResponse>, "unhandled message type");
+          // Raft servers do not consume client responses; ignore.
+        }
+      },
+      message);
+}
+
+void RaftNode::send(NodeId to, Message message, net::Transport transport, MsgKind kind) {
+  if (!running_ || paused_) return;
+  const std::size_t bytes = approx_size(message);
+  for (Observer* o : observers_) o->on_message_sent(id_, to, kind, bytes, sim_->now());
+  net_->send(id_, to, std::move(message), transport, bytes);
+}
+
+// ---- AppendEntries ---------------------------------------------------------------
+
+void RaftNode::on_append_entries(NodeId from, const AppendEntriesRequest& req) {
+  AppendEntriesResponse resp;
+  resp.heartbeat = req.is_heartbeat();
+
+  const MsgKind resp_kind =
+      resp.heartbeat ? MsgKind::HeartbeatResponse : MsgKind::AppendResponse;
+
+  if (req.term < term_) {
+    resp.term = term_;
+    resp.success = false;
+    resp.conflict_hint = last_log_index() + 1;
+    send(from, std::move(resp), net::Transport::Reliable, resp_kind);
+    return;
+  }
+
+  // Valid leader for req.term: adopt it. Two leaders can never share a term.
+  DYNA_ASSERT(!(role_ == Role::Leader && req.term == term_));
+  if (req.term > term_ || role_ != Role::Follower || leader_ != req.leader) {
+    become_follower(req.term, req.leader);
+  } else {
+    leader_ = req.leader;
+  }
+  last_leader_contact_ = sim_->now();
+  reset_election_timer();
+
+  resp.term = term_;
+
+  // Consistency check.
+  if (req.prev_log_index > last_log_index()) {
+    resp.success = false;
+    resp.conflict_hint = last_log_index() + 1;
+  } else if (req.prev_log_index > 0 && term_at(req.prev_log_index) != req.prev_log_term) {
+    // Back off to the first index of the conflicting term.
+    const Term conflict_term = term_at(req.prev_log_index);
+    LogIndex hint = req.prev_log_index;
+    while (hint > 1 && term_at(hint - 1) == conflict_term) --hint;
+    resp.success = false;
+    resp.conflict_hint = hint;
+  } else {
+    // Append any genuinely new entries, truncating on divergence.
+    for (const LogEntry& entry : req.entries) {
+      if (entry.index <= last_log_index()) {
+        if (term_at(entry.index) != entry.term) {
+          storage_->truncate_from(entry.index);
+          log_.resize(entry.index - 1);
+          log_.push_back(entry);
+          storage_->append(std::span<const LogEntry>(&log_.back(), 1));
+        }
+        // else: duplicate of what we already hold — skip.
+      } else {
+        DYNA_ASSERT(entry.index == last_log_index() + 1);
+        log_.push_back(entry);
+        storage_->append(std::span<const LogEntry>(&log_.back(), 1));
+      }
+    }
+    resp.success = true;
+    resp.match_index = req.prev_log_index + req.entries.size();
+    const LogIndex new_commit = std::min<LogIndex>(req.leader_commit, resp.match_index);
+    if (new_commit > commit_index_) {
+      commit_index_ = new_commit;
+      apply_committed();
+    }
+  }
+
+  // Dynatune measurement: echo the stamp, ride the tuned h back.
+  if (req.meta) {
+    resp.echo_id = req.meta->id;
+    resp.echo_send_ts = req.meta->send_ts;
+    resp.tuned_heartbeat = policy_->on_heartbeat_meta(req.leader, *req.meta, sim_->now());
+    if (resp.tuned_heartbeat) {
+      for (Observer* o : observers_) {
+        o->on_params_tuned(id_, policy_->election_timeout(), *resp.tuned_heartbeat, sim_->now());
+      }
+    }
+    // The policy may have just retuned Et; re-randomize the pending deadline
+    // if its base changed (Dynatune applies tuned Et immediately).
+    reset_election_timer();
+  }
+
+  const bool datagram = resp.heartbeat && config_.datagram_heartbeats;
+  send(from, std::move(resp), datagram ? net::Transport::Datagram : net::Transport::Reliable,
+       resp_kind);
+}
+
+void RaftNode::on_append_response(NodeId from, const AppendEntriesResponse& resp) {
+  if (resp.term > term_) {
+    become_follower(resp.term, kNoNode);
+    return;
+  }
+  if (role_ != Role::Leader || resp.term < term_) return;
+
+  // Measurement: RTT from the echoed leader-local timestamp (clock-skew free).
+  if (resp.echo_send_ts) {
+    last_rtt_[from] = sim_->now() - *resp.echo_send_ts;
+  }
+  if (resp.tuned_heartbeat) {
+    policy_->on_tuned_heartbeat(from, *resp.tuned_heartbeat);
+    // If the freshly tuned interval is shorter than the pending deadline
+    // allows, bring the next beat forward (the paper applies h immediately).
+    if (config_.per_follower_heartbeat) {
+      const auto it = heartbeat_timers_.find(from);
+      if (it != heartbeat_timers_.end() && it->second->armed()) {
+        const TimePoint earliest = sim_->now() + *resp.tuned_heartbeat;
+        if (it->second->deadline() > earliest) it->second->arm_at(earliest);
+      }
+    }
+  }
+
+  if (resp.success) {
+    match_index_[from] = std::max(match_index_[from], resp.match_index);
+    next_index_[from] = std::max(next_index_[from], resp.match_index + 1);
+    maybe_advance_commit();
+  } else {
+    // Rejection: rewind and retry immediately.
+    const LogIndex hint = std::max<LogIndex>(1, resp.conflict_hint);
+    next_index_[from] = std::min(next_index_[from], hint);
+    if (next_index_[from] <= last_log_index()) replicate_to(from);
+  }
+}
+
+// ---- Pre-vote ----------------------------------------------------------------------
+
+bool RaftNode::heard_from_leader_recently() const {
+  if (leader_ == kNoNode || leader_ == id_) return false;
+  return (sim_->now() - last_leader_contact_) < policy_->election_timeout();
+}
+
+void RaftNode::on_prevote_request(NodeId from, const PreVoteRequest& req) {
+  PreVoteResponse resp;
+  resp.term = term_;
+  resp.target_term = req.term;
+  // Grant iff the candidate could plausibly win: its log is up to date, its
+  // prospective term is not behind ours, and we ourselves have lost the
+  // leader (leader stickiness — the key to surviving RTT spikes).
+  resp.granted = req.term >= term_ && log_up_to_date(req.last_log_index, req.last_log_term) &&
+                 !heard_from_leader_recently();
+  send(from, std::move(resp), net::Transport::Reliable, MsgKind::PreVoteResponse);
+}
+
+void RaftNode::on_prevote_response(NodeId from, const PreVoteResponse& resp) {
+  if (resp.term > term_) {
+    become_follower(resp.term, kNoNode);
+    return;
+  }
+  if (role_ != Role::PreCandidate || resp.target_term != prevote_target_) return;
+  if (!resp.granted) return;
+  prevote_grants_.insert(from);
+  if (prevote_grants_.size() >= majority()) {
+    start_election();
+  }
+}
+
+// ---- Votes --------------------------------------------------------------------------
+
+void RaftNode::on_vote_request(NodeId from, const RequestVoteRequest& req) {
+  if (req.term > term_) {
+    become_follower(req.term, kNoNode);
+  }
+  RequestVoteResponse resp;
+  resp.term = term_;
+  resp.granted = req.term == term_ && (voted_for_ == kNoNode || voted_for_ == req.candidate) &&
+                 log_up_to_date(req.last_log_index, req.last_log_term);
+  if (resp.granted) {
+    voted_for_ = req.candidate;
+    persist_hard_state();
+    reset_election_timer();  // granting a vote defers our own candidacy
+  }
+  send(from, std::move(resp), net::Transport::Reliable, MsgKind::VoteResponse);
+}
+
+void RaftNode::on_vote_response(NodeId from, const RequestVoteResponse& resp) {
+  if (resp.term > term_) {
+    become_follower(resp.term, kNoNode);
+    return;
+  }
+  if (role_ != Role::Candidate || resp.term < term_ || !resp.granted) return;
+  vote_grants_.insert(from);
+  if (vote_grants_.size() >= majority()) {
+    become_leader();
+  }
+}
+
+// ---- Client path ----------------------------------------------------------------------
+
+void RaftNode::on_client_request(NodeId from, const ClientRequest& req) {
+  if (role_ != Role::Leader) {
+    ClientResponse resp;
+    resp.ok = false;
+    resp.leader_hint = leader_;
+    resp.client_seq = req.command.client_seq;
+    send(from, std::move(resp), net::Transport::Reliable, MsgKind::ClientResponse);
+    return;
+  }
+  Command cmd = req.command;
+  cmd.client = from;  // route the eventual response to the sender
+  submit(std::move(cmd));
+}
+
+std::optional<LogIndex> RaftNode::submit(Command command) {
+  if (role_ != Role::Leader || !running_ || paused_) return std::nullopt;
+  LogEntry entry;
+  entry.term = term_;
+  entry.index = last_log_index() + 1;
+  entry.command = std::move(command);
+  log_.push_back(std::move(entry));
+  storage_->append(std::span<const LogEntry>(&log_.back(), 1));
+  schedule_flush();
+  if (majority() == 1) maybe_advance_commit();  // single-node cluster
+  return log_.back().index;
+}
+
+// ---- Log helpers -----------------------------------------------------------------------
+
+Term RaftNode::term_at(LogIndex index) const {
+  if (index == 0) return 0;
+  DYNA_EXPECTS(index <= log_.size());
+  return log_[index - 1].term;
+}
+
+bool RaftNode::log_up_to_date(LogIndex their_index, Term their_term) const {
+  const Term my_term = term_at(last_log_index());
+  if (their_term != my_term) return their_term > my_term;
+  return their_index >= last_log_index();
+}
+
+void RaftNode::persist_hard_state() { storage_->save_hard_state(term_, voted_for_); }
+
+}  // namespace dyna::raft

@@ -1,0 +1,192 @@
+// A complete Raft server: leader election with pre-vote, heartbeats, log
+// replication, commitment, crash/recovery persistence — plus the Dynatune
+// measurement plumbing (heartbeat ids, timestamp echoes, RTT computation)
+// behind the ElectionPolicy seam.
+//
+// The node is driven entirely by simulator events: timer expiries and
+// network deliveries. It never reads wall-clock time or global state, so a
+// trial is a pure function of (config, seeds, fault schedule).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "raft/config.hpp"
+#include "raft/election_policy.hpp"
+#include "raft/message.hpp"
+#include "raft/observer.hpp"
+#include "raft/storage.hpp"
+#include "sim/simulator.hpp"
+
+namespace dyna::raft {
+
+class RaftNode {
+ public:
+  /// Applies a committed entry to the host's state machine. Return value is
+  /// the result string sent back to the client (leader only).
+  using ApplyFn = std::function<std::string(const LogEntry&)>;
+
+  RaftNode(NodeId id, std::vector<NodeId> peers, sim::Simulator& simulator,
+           net::Network& network, RaftConfig config, std::shared_ptr<Storage> storage,
+           std::unique_ptr<ElectionPolicy> policy, Rng rng);
+
+  RaftNode(const RaftNode&) = delete;
+  RaftNode& operator=(const RaftNode&) = delete;
+
+  /// Begin operating (arm the election timer). Reloads persistent state.
+  void start();
+
+  /// Permanently stop (crash). Timers cancelled; messages ignored. Restart
+  /// by constructing a fresh node over the same Storage.
+  void stop();
+
+  /// Freeze, as if the hosting container were paused: timers hold their
+  /// remaining durations, nothing is processed until resume().
+  void pause();
+  void resume();
+
+  /// Entry point for all network traffic (wired up by the cluster).
+  void handle_message(NodeId from, const Message& message);
+
+  /// Submit a command (leader only). Returns the assigned log index, or
+  /// nullopt when this node is not the leader.
+  std::optional<LogIndex> submit(Command command);
+
+  void set_apply(ApplyFn apply) { apply_ = std::move(apply); }
+  void add_observer(Observer* observer);
+
+  // ---- Introspection ---------------------------------------------------------
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] Role role() const noexcept { return role_; }
+  [[nodiscard]] Term term() const noexcept { return term_; }
+  [[nodiscard]] bool is_leader() const noexcept { return role_ == Role::Leader; }
+  [[nodiscard]] NodeId leader_hint() const noexcept { return leader_; }
+  [[nodiscard]] bool running() const noexcept { return running_ && !paused_; }
+  [[nodiscard]] bool paused() const noexcept { return paused_; }
+  [[nodiscard]] LogIndex commit_index() const noexcept { return commit_index_; }
+  [[nodiscard]] LogIndex last_log_index() const noexcept { return log_.size(); }
+  [[nodiscard]] const std::vector<LogEntry>& log() const noexcept { return log_; }
+  [[nodiscard]] ElectionPolicy& policy() noexcept { return *policy_; }
+  [[nodiscard]] const RaftConfig& config() const noexcept { return config_; }
+
+  /// The currently drawn randomizedTimeout (the quantity Fig 6 plots).
+  [[nodiscard]] Duration randomized_timeout() const noexcept { return randomized_timeout_; }
+
+  /// Leader-side: last RTT measured toward `follower` (measurement mode).
+  [[nodiscard]] std::optional<Duration> last_measured_rtt(NodeId follower) const;
+
+  /// Leader-side: heartbeat interval currently in force toward `follower`.
+  [[nodiscard]] Duration effective_heartbeat_interval(NodeId follower) const {
+    return policy_->heartbeat_interval(follower);
+  }
+
+ private:
+  // ---- Role transitions ----
+  void become_follower(Term term, NodeId leader);
+  void start_prevote();
+  void start_election();
+  void become_leader();
+
+  // ---- Timer handling ----
+  void on_election_deadline();
+  void reset_election_timer();
+  void refresh_randomized_timeout(bool force_redraw);
+  [[nodiscard]] Duration draw_randomized_timeout(Duration base) ;
+
+  // ---- Message handlers ----
+  void on_append_entries(NodeId from, const AppendEntriesRequest& req);
+  void on_append_response(NodeId from, const AppendEntriesResponse& resp);
+  void on_prevote_request(NodeId from, const PreVoteRequest& req);
+  void on_prevote_response(NodeId from, const PreVoteResponse& resp);
+  void on_vote_request(NodeId from, const RequestVoteRequest& req);
+  void on_vote_response(NodeId from, const RequestVoteResponse& resp);
+  void on_client_request(NodeId from, const ClientRequest& req);
+
+  // ---- Leader machinery ----
+  void arm_heartbeat_timers();
+  void send_heartbeat(NodeId follower);
+  void broadcast_heartbeats();
+  [[nodiscard]] Duration broadcast_interval() const;
+  void schedule_flush();
+  void flush_replication();
+  void replicate_to(NodeId follower);
+  void maybe_advance_commit();
+  void apply_committed();
+
+  // ---- Helpers ----
+  void persist_hard_state();
+  [[nodiscard]] bool log_up_to_date(LogIndex their_index, Term their_term) const;
+  [[nodiscard]] Term term_at(LogIndex index) const;
+  [[nodiscard]] std::size_t majority() const noexcept { return (peers_.size() + 1) / 2 + 1; }
+  [[nodiscard]] bool heard_from_leader_recently() const;
+  void send(NodeId to, Message message, net::Transport transport, MsgKind kind);
+  void notify_role_change(Role from, Role to);
+
+  // ---- Identity / wiring ----
+  NodeId id_;
+  std::vector<NodeId> peers_;
+  sim::Simulator* sim_;
+  net::Network* net_;
+  RaftConfig config_;
+  std::shared_ptr<Storage> storage_;
+  std::unique_ptr<ElectionPolicy> policy_;
+  Rng rng_;
+  ApplyFn apply_;
+  std::vector<Observer*> observers_;
+
+  // ---- Persistent state (mirrored in storage_) ----
+  Term term_ = 0;
+  NodeId voted_for_ = kNoNode;
+  std::vector<LogEntry> log_;  // log_[i] has index i+1
+
+  // ---- Volatile state ----
+  Role role_ = Role::Follower;
+  NodeId leader_ = kNoNode;
+  LogIndex commit_index_ = 0;
+  LogIndex last_applied_ = 0;
+  bool running_ = false;
+  bool paused_ = false;
+
+  // Election timing.
+  sim::Timer election_timer_;
+  Duration randomized_timeout_{};
+  Duration randomized_base_{};  // Et used for the current draw
+  TimePoint last_leader_contact_ = kSimEpoch;
+
+  // Pre-vote state. Grants accumulate per *target term* across retry rounds
+  // (etcd semantics): a grant answering an earlier round still counts as long
+  // as the prospective term is unchanged — essential for elections to ignite
+  // when the RTT exceeds the election timeout.
+  Term prevote_target_ = 0;
+  std::set<NodeId> prevote_grants_;
+
+  // Candidate state.
+  std::set<NodeId> vote_grants_;
+
+  // Leader state.
+  std::map<NodeId, LogIndex> next_index_;
+  std::map<NodeId, LogIndex> match_index_;
+  std::map<NodeId, std::unique_ptr<sim::Timer>> heartbeat_timers_;  // per-follower mode
+  std::unique_ptr<sim::Timer> broadcast_timer_;                     // broadcast mode
+  bool flush_scheduled_ = false;
+
+  // Measurement plumbing (leader side).
+  std::map<NodeId, std::uint64_t> next_heartbeat_id_;
+  std::map<NodeId, Duration> last_rtt_;
+  // Last instant anything was sent to each follower (heartbeat suppression).
+  std::map<NodeId, TimePoint> last_sent_to_;
+
+  // Pause bookkeeping: remaining durations of timers frozen by pause().
+  std::optional<Duration> frozen_election_remaining_;
+  std::map<NodeId, Duration> frozen_heartbeat_remaining_;
+  std::optional<Duration> frozen_broadcast_remaining_;
+};
+
+}  // namespace dyna::raft

@@ -1,0 +1,44 @@
+// Observation interface for probes, telemetry and CPU-cost models.
+//
+// Observers are non-owning and purely passive: they must not call back into
+// the node. The cluster probe (detection/OTS extraction), the perf model
+// (CPU accounting) and test assertions all implement this interface.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "raft/message.hpp"
+#include "raft/types.hpp"
+
+namespace dyna::raft {
+
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  virtual void on_role_change(NodeId /*node*/, Role /*from*/, Role /*to*/, Term /*term*/,
+                              TimePoint /*when*/) {}
+
+  /// The node's election timer expired (it will start a pre-vote/election).
+  /// This is the paper's "failure detected" instant.
+  virtual void on_election_timeout(NodeId /*node*/, Term /*term*/, TimePoint /*when*/) {}
+
+  /// `leader` won the election for `term` and assumed leadership.
+  virtual void on_leader_established(NodeId /*leader*/, Term /*term*/, TimePoint /*when*/) {}
+
+  virtual void on_entry_committed(NodeId /*node*/, const LogEntry& /*entry*/,
+                                  TimePoint /*when*/) {}
+
+  virtual void on_message_sent(NodeId /*from*/, NodeId /*to*/, MsgKind /*kind*/,
+                               std::size_t /*bytes*/, TimePoint /*when*/) {}
+
+  virtual void on_message_received(NodeId /*node*/, NodeId /*from*/, MsgKind /*kind*/,
+                                   std::size_t /*bytes*/, TimePoint /*when*/) {}
+
+  /// Dynatune telemetry: the node retuned its election parameters.
+  virtual void on_params_tuned(NodeId /*node*/, Duration /*election_timeout*/,
+                               Duration /*heartbeat_interval*/, TimePoint /*when*/) {}
+};
+
+}  // namespace dyna::raft

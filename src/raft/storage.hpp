@@ -1,0 +1,94 @@
+// Persistent state interface.
+//
+// Raft requires currentTerm, votedFor and the log to survive crashes. The
+// cluster harness keeps one Storage per server across crash/restart cycles;
+// a restarted node reloads from it. The in-memory implementation is exact
+// (the experiments do not model disk latency — the paper ran on unthrottled
+// NVMe and its results are network-bound).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "raft/types.hpp"
+
+namespace dyna::raft {
+
+class Storage {
+ public:
+  virtual ~Storage() = default;
+
+  virtual void save_hard_state(Term term, NodeId voted_for) = 0;
+  [[nodiscard]] virtual std::pair<Term, NodeId> load_hard_state() const = 0;
+
+  /// Append entries at the end of the durable log.
+  virtual void append(std::span<const LogEntry> entries) = 0;
+
+  /// Remove all entries with index >= first_removed.
+  virtual void truncate_from(LogIndex first_removed) = 0;
+
+  [[nodiscard]] virtual std::vector<LogEntry> load_log() const = 0;
+};
+
+/// Storage that persists hard state but discards the log. For workloads that
+/// never exercise crash-recovery (e.g. the throughput benchmarks) this halves
+/// the memory footprint of long runs. Restarting a node over NullStorage
+/// yields an empty log — only use it where restarts don't happen.
+class NullStorage final : public Storage {
+ public:
+  void save_hard_state(Term term, NodeId voted_for) override {
+    term_ = term;
+    voted_for_ = voted_for;
+  }
+
+  [[nodiscard]] std::pair<Term, NodeId> load_hard_state() const override {
+    return {term_, voted_for_};
+  }
+
+  void append(std::span<const LogEntry>) override {}
+  void truncate_from(LogIndex) override {}
+  [[nodiscard]] std::vector<LogEntry> load_log() const override { return {}; }
+
+ private:
+  Term term_ = 0;
+  NodeId voted_for_ = kNoNode;
+};
+
+class MemoryStorage final : public Storage {
+ public:
+  void save_hard_state(Term term, NodeId voted_for) override {
+    term_ = term;
+    voted_for_ = voted_for;
+  }
+
+  [[nodiscard]] std::pair<Term, NodeId> load_hard_state() const override {
+    return {term_, voted_for_};
+  }
+
+  void append(std::span<const LogEntry> entries) override {
+    for (const auto& e : entries) {
+      DYNA_EXPECTS(e.index == log_.size() + 1);  // contiguous, 1-based
+      log_.push_back(e);
+    }
+  }
+
+  void truncate_from(LogIndex first_removed) override {
+    DYNA_EXPECTS(first_removed >= 1);
+    if (first_removed <= log_.size()) {
+      log_.resize(first_removed - 1);
+    }
+  }
+
+  [[nodiscard]] std::vector<LogEntry> load_log() const override { return log_; }
+
+ private:
+  Term term_ = 0;
+  NodeId voted_for_ = kNoNode;
+  std::vector<LogEntry> log_;
+};
+
+}  // namespace dyna::raft

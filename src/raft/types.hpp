@@ -1,0 +1,55 @@
+// Fundamental Raft vocabulary: terms, log indices, roles, log entries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace dyna::raft {
+
+/// Monotonically increasing election epoch.
+using Term = std::uint64_t;
+
+/// 1-based log position; 0 means "before the first entry".
+using LogIndex = std::uint64_t;
+
+enum class Role : std::uint8_t {
+  Follower,
+  PreCandidate,  ///< running a pre-vote round (term not yet incremented)
+  Candidate,
+  Leader,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Role r) noexcept {
+  switch (r) {
+    case Role::Follower: return "follower";
+    case Role::PreCandidate: return "pre-candidate";
+    case Role::Candidate: return "candidate";
+    case Role::Leader: return "leader";
+  }
+  return "?";
+}
+
+/// A client command as Raft sees it: opaque payload plus routing metadata so
+/// the leader can answer the submitting client once the entry applies.
+struct Command {
+  std::string payload;            ///< state-machine-specific serialization
+  NodeId client = kNoNode;        ///< network endpoint to answer (if any)
+  std::uint64_t client_seq = 0;   ///< client-chosen id echoed in the response
+
+  [[nodiscard]] bool is_noop() const noexcept { return payload.empty(); }
+
+  friend bool operator==(const Command&, const Command&) = default;
+};
+
+struct LogEntry {
+  Term term = 0;
+  LogIndex index = 0;
+  Command command;
+
+  friend bool operator==(const LogEntry&, const LogEntry&) = default;
+};
+
+}  // namespace dyna::raft

@@ -1,0 +1,179 @@
+// Deterministic discrete-event simulation engine.
+//
+// One Simulator instance is one experiment trial. Events execute in
+// (time, insertion-id) order, so two runs with identical inputs produce
+// identical traces — the property every reproduction experiment in this repo
+// rests on. Trials are independent; parallelism happens across Simulators
+// (see src/parallel), never inside one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace dyna::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle for a scheduled event; usable to cancel it before it fires.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] TimePoint now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute time `when` (clamped to now if in the past).
+  EventId schedule_at(TimePoint when, EventFn fn) {
+    DYNA_EXPECTS(fn != nullptr);
+    if (when < now_) when = now_;
+    const EventId id = ++next_id_;
+    queue_.push(Entry{when, id, std::move(fn)});
+    live_.insert(id);
+    return id;
+  }
+
+  /// Schedule `fn` after `delay` (negative delays clamp to "immediately").
+  EventId schedule_after(Duration delay, EventFn fn) {
+    return schedule_at(now_ + (delay.count() > 0 ? delay : Duration{0}), std::move(fn));
+  }
+
+  /// Cancel a pending event. Returns false if it already fired or was
+  /// cancelled before.
+  bool cancel(EventId id) {
+    if (live_.erase(id) == 0) return false;
+    cancelled_.insert(id);
+    return true;
+  }
+
+  /// Execute the next pending event, advancing the clock. Returns false if
+  /// the queue is empty.
+  bool step() {
+    while (!queue_.empty()) {
+      // Copy out before pop: the callback may schedule into the queue.
+      Entry top = std::move(const_cast<Entry&>(queue_.top()));
+      queue_.pop();
+      if (cancelled_.erase(top.id) > 0) continue;
+      live_.erase(top.id);
+      DYNA_ASSERT(top.when >= now_);
+      now_ = top.when;
+      ++executed_;
+      top.fn();
+      return true;
+    }
+    return false;
+  }
+
+  /// Run events until none remain at or before `horizon`, then advance the
+  /// clock to `horizon` exactly (so back-to-back run_for calls tile time).
+  void run_until(TimePoint horizon) {
+    DYNA_EXPECTS(horizon >= now_);
+    while (!queue_.empty() && queue_.top().when <= horizon) {
+      if (peek_cancelled()) continue;
+      step();
+    }
+    now_ = horizon;
+  }
+
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Drain the whole queue (tests / teardown). `max_events` guards against
+  /// self-perpetuating schedules.
+  std::size_t run_all(std::size_t max_events = 100'000'000) {
+    std::size_t n = 0;
+    while (n < max_events && step()) ++n;
+    return n;
+  }
+
+  [[nodiscard]] std::size_t executed() const noexcept { return executed_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_.size(); }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    EventId id;
+    EventFn fn;
+  };
+
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;  // FIFO among same-time events
+    }
+  };
+
+  /// Discard the queue head if it was cancelled. Returns true if discarded.
+  bool peek_cancelled() {
+    const Entry& top = queue_.top();
+    if (cancelled_.erase(top.id) > 0) {
+      queue_.pop();
+      return true;
+    }
+    return false;
+  }
+
+  TimePoint now_ = kSimEpoch;
+  EventId next_id_ = kInvalidEvent;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> live_;
+  std::unordered_set<EventId> cancelled_;
+  std::size_t executed_ = 0;
+};
+
+/// One-shot restartable timer: the idiom Raft nodes use for election and
+/// heartbeat deadlines. Re-arming cancels the previous schedule; the callback
+/// fires at most once per arm().
+class Timer {
+ public:
+  Timer(Simulator& simulator, EventFn on_fire)
+      : sim_(&simulator), on_fire_(std::move(on_fire)) {
+    DYNA_EXPECTS(on_fire_ != nullptr);
+  }
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  ~Timer() { cancel(); }
+
+  void arm_at(TimePoint when) {
+    cancel();
+    deadline_ = when;
+    id_ = sim_->schedule_at(when, [this] {
+      id_ = kInvalidEvent;
+      deadline_ = kNever;
+      on_fire_();
+    });
+  }
+
+  void arm(Duration delay) { arm_at(sim_->now() + delay); }
+
+  void cancel() {
+    if (id_ != kInvalidEvent) {
+      sim_->cancel(id_);
+      id_ = kInvalidEvent;
+      deadline_ = kNever;
+    }
+  }
+
+  [[nodiscard]] bool armed() const noexcept { return id_ != kInvalidEvent; }
+  [[nodiscard]] TimePoint deadline() const noexcept { return deadline_; }
+
+ private:
+  Simulator* sim_;
+  EventFn on_fire_;
+  EventId id_ = kInvalidEvent;
+  TimePoint deadline_ = kNever;
+};
+
+}  // namespace dyna::sim

@@ -1,0 +1,168 @@
+// Cluster harness: wiring, telemetry and fault-injection API.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/experiment.hpp"
+#include "cluster/topology.hpp"
+
+namespace dyna {
+namespace {
+
+using namespace std::chrono_literals;
+using cluster::Cluster;
+
+TEST(Cluster, BuildsRequestedSize) {
+  Cluster c(cluster::make_raft_config(7, 1));
+  EXPECT_EQ(c.size(), 7u);
+  EXPECT_EQ(c.server_ids().size(), 7u);
+  EXPECT_EQ(c.network().node_count(), 7u);
+}
+
+TEST(Cluster, VariantFactoriesConfigureCorrectly) {
+  const auto raft = cluster::make_raft_config(5, 1);
+  EXPECT_EQ(raft.raft.election_timeout, 1000ms);
+  EXPECT_EQ(raft.raft.heartbeat_interval, 100ms);
+  EXPECT_FALSE(raft.raft.measure_network);
+
+  const auto low = cluster::make_raft_low_config(5, 1);
+  EXPECT_EQ(low.raft.election_timeout, 100ms);
+  EXPECT_EQ(low.raft.heartbeat_interval, 10ms);
+
+  const auto dyn = cluster::make_dynatune_config(5, 1);
+  EXPECT_TRUE(dyn.raft.measure_network);
+  EXPECT_TRUE(dyn.raft.datagram_heartbeats);
+  EXPECT_TRUE(dyn.raft.per_follower_heartbeat);
+  EXPECT_EQ(dyn.raft.tick, 1ms);
+
+  const auto fixk = cluster::make_fixk_config(5, 1);
+  EXPECT_EQ(fixk.name, "Fix-K");
+}
+
+TEST(Cluster, CurrentLeaderIsNoNodeBeforeElection) {
+  Cluster c(cluster::make_raft_config(3, 2));
+  EXPECT_EQ(c.current_leader(), kNoNode);  // t = 0, nothing fired yet
+}
+
+TEST(Cluster, AwaitLeaderTimesOutWhenQuorumImpossible) {
+  Cluster c(cluster::make_raft_config(3, 3));
+  c.crash(0);
+  c.crash(1);  // only one node left: no quorum
+  EXPECT_FALSE(c.await_leader(5s));
+}
+
+TEST(Cluster, RandomizedTimeoutKthIsOrdered) {
+  Cluster c(cluster::make_raft_config(5, 4));
+  ASSERT_TRUE(c.await_leader(30s));
+  Duration prev{0};
+  for (std::size_t k = 1; k <= 5; ++k) {
+    const Duration v = c.randomized_timeout_kth(k);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Cluster, CrashedNodesCountAsInfiniteTimeout) {
+  Cluster c(cluster::make_raft_config(3, 5));
+  ASSERT_TRUE(c.await_leader(30s));
+  const NodeId leader = c.current_leader();
+  const NodeId victim = leader == 0 ? 1 : 0;
+  c.crash(victim);
+  EXPECT_EQ(c.randomized_timeout_kth(3), Duration::max());
+}
+
+TEST(Cluster, ServiceAvailableTracksLeaderPresence) {
+  Cluster c(cluster::make_raft_config(3, 6));
+  ASSERT_TRUE(c.await_leader(30s));
+  EXPECT_TRUE(cluster::service_available(c));
+  const NodeId leader = c.current_leader();
+  c.pause(leader);
+  c.sim().run_for(200ms);  // leader frozen, no successor yet
+  EXPECT_FALSE(cluster::service_available(c));
+  c.sim().run_for(15s);
+  EXPECT_TRUE(cluster::service_available(c));  // successor elected
+  c.resume(leader);
+}
+
+TEST(Cluster, ForkRngIsDeterministic) {
+  Cluster a(cluster::make_raft_config(3, 7));
+  Cluster b(cluster::make_raft_config(3, 7));
+  Rng ra = a.fork_rng(5);
+  Rng rb = b.fork_rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ra.bits(), rb.bits());
+}
+
+TEST(Cluster, IdenticalSeedsGiveIdenticalElectionOutcome) {
+  auto run = [] {
+    Cluster c(cluster::make_raft_config(5, 99));
+    c.await_leader(30s);
+    c.sim().run_for(5s);
+    return std::make_tuple(c.current_leader(), c.node(c.current_leader()).term(),
+                           c.sim().executed());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Cluster, DifferentSeedsDiverge) {
+  auto run = [](std::uint64_t seed) {
+    Cluster c(cluster::make_raft_config(5, seed));
+    c.await_leader(30s);
+    c.sim().run_for(5s);
+    std::vector<Duration> draws;
+    for (const NodeId id : c.server_ids()) draws.push_back(c.node(id).randomized_timeout());
+    return draws;
+  };
+  // The randomized-timeout draws almost surely differ across seeds.
+  EXPECT_NE(run(101), run(202));
+}
+
+TEST(Cluster, PerfModelDisabledByDefault) {
+  Cluster c(cluster::make_raft_config(3, 8));
+  EXPECT_EQ(c.perf(), nullptr);
+}
+
+TEST(Cluster, PerfModelChargesTraffic) {
+  cluster::ClusterConfig cfg = cluster::make_raft_config(3, 9);
+  cfg.perf_cost = cluster::CostModel{};
+  Cluster c(std::move(cfg));
+  ASSERT_TRUE(c.await_leader(30s));
+  c.sim().run_for(10s);
+  ASSERT_NE(c.perf(), nullptr);
+  const NodeId leader = c.current_leader();
+  EXPECT_GT(c.perf()->total_busy(leader).count(), 0);
+}
+
+TEST(Topology, AwsMatrixIsSymmetricAndComplete) {
+  const auto t = cluster::WanTopology::aws_five_regions();
+  ASSERT_EQ(t.size(), 5u);
+  ASSERT_EQ(t.rtt.size(), 5u);
+  for (std::size_t a = 0; a < 5; ++a) {
+    ASSERT_EQ(t.rtt[a].size(), 5u);
+    EXPECT_EQ(t.rtt[a][a], Duration{0});
+    for (std::size_t b = 0; b < 5; ++b) {
+      EXPECT_EQ(t.rtt[a][b], t.rtt[b][a]) << a << "," << b;
+      if (a != b) EXPECT_GT(t.rtt[a][b], 50ms);
+    }
+  }
+}
+
+TEST(Topology, ApplyInstallsPerPairConditions) {
+  Cluster c(cluster::make_raft_config(5, 10));
+  const auto topo = cluster::WanTopology::aws_five_regions();
+  topo.apply(c.network());
+  for (std::size_t a = 0; a < 5; ++a) {
+    for (std::size_t b = 0; b < 5; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(c.network().condition(static_cast<NodeId>(a), static_cast<NodeId>(b)).rtt,
+                topo.rtt[a][b]);
+    }
+  }
+}
+
+TEST(Topology, GeoClusterElectsLeader) {
+  Cluster c(cluster::make_raft_config(5, 11));
+  cluster::WanTopology::aws_five_regions().apply(c.network());
+  EXPECT_TRUE(c.await_leader(60s));
+}
+
+}  // namespace
+}  // namespace dyna

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace dyna {
+namespace {
+
+double naive_mean(const std::vector<double>& v) {
+  double s = 0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double naive_stddev(const std::vector<double>& v) {
+  const double m = naive_mean(v);
+  double s = 0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size()));
+}
+
+TEST(Welford, EmptyIsZero) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+}
+
+TEST(Welford, SingleValue) {
+  Welford w;
+  w.add(5.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.stddev(), 0.0);
+}
+
+TEST(Welford, MatchesNaiveComputation) {
+  Rng rng(1);
+  std::vector<double> v;
+  Welford w;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(50.0, 12.0);
+    v.push_back(x);
+    w.add(x);
+  }
+  EXPECT_NEAR(w.mean(), naive_mean(v), 1e-9);
+  EXPECT_NEAR(w.stddev(), naive_stddev(v), 1e-9);
+}
+
+TEST(Welford, NumericallyStableWithLargeOffset) {
+  // Catastrophic cancellation killer: tiny variance on a huge mean.
+  Welford w;
+  for (int i = 0; i < 1000; ++i) w.add(1e9 + (i % 2 == 0 ? 0.5 : -0.5));
+  EXPECT_NEAR(w.mean(), 1e9, 1e-3);
+  EXPECT_NEAR(w.stddev(), 0.5, 1e-6);
+}
+
+TEST(Welford, ResetClears) {
+  Welford w;
+  w.add(1);
+  w.add(2);
+  w.reset();
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+}
+
+TEST(SlidingWindow, FillsToCapacityThenEvictsOldest) {
+  SlidingWindow w(3);
+  w.add(1);
+  w.add(2);
+  w.add(3);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.mean(), 2.0);
+  w.add(10);  // evicts 1 -> {2,3,10}
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  w.add(11);  // evicts 2 -> {3,10,11}
+  EXPECT_DOUBLE_EQ(w.mean(), 8.0);
+}
+
+TEST(SlidingWindow, MinMaxTrackWindowNotHistory) {
+  SlidingWindow w(2);
+  w.add(100);
+  w.add(1);
+  w.add(2);  // 100 evicted
+  EXPECT_DOUBLE_EQ(w.max(), 2.0);
+  EXPECT_DOUBLE_EQ(w.min(), 1.0);
+}
+
+TEST(SlidingWindow, StatsMatchNaiveOverRetainedWindow) {
+  Rng rng(2);
+  const std::size_t cap = 50;
+  SlidingWindow w(cap);
+  std::vector<double> all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.0, 100.0);
+    all.push_back(x);
+    w.add(x);
+  }
+  const std::vector<double> tail(all.end() - cap, all.end());
+  EXPECT_NEAR(w.mean(), naive_mean(tail), 1e-9);
+  EXPECT_NEAR(w.stddev(), naive_stddev(tail), 1e-9);
+}
+
+TEST(SlidingWindow, ClearEmpties) {
+  SlidingWindow w(4);
+  w.add(1);
+  w.clear();
+  EXPECT_TRUE(w.empty());
+  w.add(7);
+  EXPECT_DOUBLE_EQ(w.mean(), 7.0);
+}
+
+TEST(Summary, PercentilesOfKnownData) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  const Summary s = Summary::of(v);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p90, 90.1, 1e-9);
+  EXPECT_NEAR(s.mean, 50.5, 1e-9);
+}
+
+TEST(Summary, EmptyIsAllZero) {
+  const Summary s = Summary::of({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Summary, SingleSample) {
+  const Summary s = Summary::of({3.5});
+  EXPECT_DOUBLE_EQ(s.p50, 3.5);
+  EXPECT_DOUBLE_EQ(s.p99, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Summary, PercentileSortedInterpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Summary::percentile_sorted(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Summary::percentile_sorted(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Summary::percentile_sorted(v, 1.0), 10.0);
+}
+
+/// Property: window of capacity c always reports stats over exactly the last
+/// min(n, c) samples, for a sweep of capacities.
+class WindowCapacitySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WindowCapacitySweep, AlwaysMatchesTail) {
+  const std::size_t cap = GetParam();
+  SlidingWindow w(cap);
+  Rng rng(3 + cap);
+  std::vector<double> all;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.normal(0.0, 1.0);
+    all.push_back(x);
+    w.add(x);
+    const std::size_t expect = std::min(all.size(), cap);
+    ASSERT_EQ(w.size(), expect);
+    const std::vector<double> tail(all.end() - static_cast<std::ptrdiff_t>(expect), all.end());
+    ASSERT_NEAR(w.mean(), naive_mean(tail), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, WindowCapacitySweep,
+                         ::testing::Values(1u, 2u, 3u, 7u, 10u, 64u, 199u, 500u));
+
+}  // namespace
+}  // namespace dyna

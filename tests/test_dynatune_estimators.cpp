@@ -1,0 +1,159 @@
+// RTT and packet-loss estimators (the paper's RTTs / ids lists).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dynatune/loss_estimator.hpp"
+#include "dynatune/rtt_estimator.hpp"
+
+namespace dyna::dt {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(RttEstimator, StartsEmpty) {
+  RttEstimator est(100);
+  EXPECT_TRUE(est.empty());
+  EXPECT_EQ(est.count(), 0u);
+}
+
+TEST(RttEstimator, MeanAndStddevOfKnownSamples) {
+  RttEstimator est(100);
+  est.record(100ms);
+  est.record(110ms);
+  est.record(120ms);
+  EXPECT_EQ(est.count(), 3u);
+  EXPECT_NEAR(est.mean_ms(), 110.0, 1e-9);
+  EXPECT_NEAR(est.stddev_ms(), 8.1649658, 1e-6);  // population stddev
+}
+
+TEST(RttEstimator, WindowEvictsOldest) {
+  RttEstimator est(3);
+  est.record(10ms);
+  est.record(20ms);
+  est.record(30ms);
+  est.record(40ms);  // evicts 10
+  EXPECT_EQ(est.count(), 3u);
+  EXPECT_NEAR(est.mean_ms(), 30.0, 1e-9);
+}
+
+TEST(RttEstimator, ResetDiscardsEverything) {
+  RttEstimator est(10);
+  est.record(50ms);
+  est.reset();
+  EXPECT_TRUE(est.empty());
+  est.record(70ms);
+  EXPECT_NEAR(est.mean_ms(), 70.0, 1e-9);
+}
+
+TEST(RttEstimator, TracksShiftingDistribution) {
+  // After an RTT regime change, a full window refill converges the mean.
+  RttEstimator est(50);
+  for (int i = 0; i < 50; ++i) est.record(100ms);
+  EXPECT_NEAR(est.mean_ms(), 100.0, 1e-9);
+  for (int i = 0; i < 50; ++i) est.record(500ms);
+  EXPECT_NEAR(est.mean_ms(), 500.0, 1e-9);
+  EXPECT_NEAR(est.stddev_ms(), 0.0, 1e-9);
+}
+
+TEST(LossEstimator, NoLossGivesZero) {
+  LossEstimator est(100);
+  for (std::uint64_t id = 1; id <= 50; ++id) EXPECT_TRUE(est.record(id));
+  EXPECT_DOUBLE_EQ(est.loss_rate(), 0.0);
+}
+
+TEST(LossEstimator, FewerThanTwoIdsMeansZero) {
+  LossEstimator est(10);
+  EXPECT_DOUBLE_EQ(est.loss_rate(), 0.0);
+  est.record(5);
+  EXPECT_DOUBLE_EQ(est.loss_rate(), 0.0);
+}
+
+TEST(LossEstimator, ComputesPaperFormula) {
+  // ids {1,2,4,5}: expected = 5, received = 4 => p = 1 - 4/5 = 0.2.
+  LossEstimator est(100);
+  for (std::uint64_t id : {1, 2, 4, 5}) est.record(id);
+  EXPECT_NEAR(est.loss_rate(), 0.2, 1e-12);
+}
+
+TEST(LossEstimator, DuplicatesIgnored) {
+  LossEstimator est(100);
+  EXPECT_TRUE(est.record(1));
+  EXPECT_FALSE(est.record(1));
+  EXPECT_TRUE(est.record(2));
+  EXPECT_FALSE(est.record(2));
+  EXPECT_EQ(est.count(), 2u);
+  EXPECT_DOUBLE_EQ(est.loss_rate(), 0.0);
+}
+
+TEST(LossEstimator, ReorderedIdsHandled) {
+  // Arrival order 3,1,2 is the in-order set {1,2,3}: no loss.
+  LossEstimator est(100);
+  est.record(3);
+  est.record(1);
+  est.record(2);
+  EXPECT_DOUBLE_EQ(est.loss_rate(), 0.0);
+}
+
+TEST(LossEstimator, WindowEvictsSmallestId) {
+  LossEstimator est(3);
+  for (std::uint64_t id : {1, 2, 3, 4}) est.record(id);  // evicts 1
+  EXPECT_EQ(est.count(), 3u);
+  EXPECT_DOUBLE_EQ(est.loss_rate(), 0.0);  // {2,3,4} contiguous
+}
+
+TEST(LossEstimator, StaleStragglerBelowWindowIgnored) {
+  LossEstimator est(3);
+  for (std::uint64_t id : {10, 11, 12}) est.record(id);
+  EXPECT_FALSE(est.record(1));  // below the retained window once full
+  EXPECT_EQ(est.count(), 3u);
+  EXPECT_DOUBLE_EQ(est.loss_rate(), 0.0);
+}
+
+TEST(LossEstimator, ResetRestartsMeasurement) {
+  LossEstimator est(100);
+  est.record(1);
+  est.record(5);
+  EXPECT_GT(est.loss_rate(), 0.0);
+  est.reset();
+  EXPECT_EQ(est.count(), 0u);
+  EXPECT_DOUBLE_EQ(est.loss_rate(), 0.0);
+}
+
+/// Property: feeding a Bernoulli(p) loss pattern yields an estimate near p.
+class LossRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossRateSweep, EstimateMatchesTrueRate) {
+  const double p = GetParam();
+  LossEstimator est(1000);
+  Rng rng(static_cast<std::uint64_t>(p * 1e6) + 17);
+  for (std::uint64_t id = 1; id <= 5000; ++id) {
+    if (!rng.bernoulli(p)) est.record(id);
+  }
+  EXPECT_NEAR(est.loss_rate(), p, 0.03) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, LossRateSweep,
+                         ::testing::Values(0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.5));
+
+/// Property: the estimator is insensitive to arrival permutations within a
+/// bounded reorder horizon.
+TEST(LossEstimator, OrderInsensitiveWithinWindow) {
+  Rng rng(99);
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t id = 1; id <= 500; ++id) {
+    if (!rng.bernoulli(0.2)) ids.push_back(id);
+  }
+  LossEstimator in_order(1000);
+  for (const auto id : ids) in_order.record(id);
+
+  // Local shuffles (swap neighbours) simulate datagram reordering.
+  std::vector<std::uint64_t> shuffled = ids;
+  for (std::size_t i = 0; i + 1 < shuffled.size(); i += 2) std::swap(shuffled[i], shuffled[i + 1]);
+  LossEstimator reordered(1000);
+  for (const auto id : shuffled) reordered.record(id);
+
+  EXPECT_DOUBLE_EQ(in_order.loss_rate(), reordered.loss_rate());
+}
+
+}  // namespace
+}  // namespace dyna::dt

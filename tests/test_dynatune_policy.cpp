@@ -1,0 +1,170 @@
+// DynatunePolicy unit tests: warm-up gating, tuning, piggyback, fallback.
+#include <gtest/gtest.h>
+
+#include "dynatune/policy.hpp"
+
+namespace dyna::dt {
+namespace {
+
+using namespace std::chrono_literals;
+
+raft::HeartbeatMeta meta(std::uint64_t id, Duration rtt) {
+  raft::HeartbeatMeta m;
+  m.id = id;
+  m.send_ts = kSimEpoch;
+  m.measured_rtt = rtt;
+  return m;
+}
+
+DynatuneConfig test_config() {
+  DynatuneConfig cfg;
+  cfg.min_list_size = 5;
+  return cfg;
+}
+
+TEST(Policy, DefaultsBeforeWarmup) {
+  DynatunePolicy p(test_config());
+  EXPECT_EQ(p.election_timeout(), p.config().default_election_timeout);
+  EXPECT_EQ(p.heartbeat_interval(1), p.config().default_heartbeat);
+  EXPECT_FALSE(p.warmed_up());
+}
+
+TEST(Policy, WarmupAdvertisesDefaultPace) {
+  DynatunePolicy p(test_config());
+  for (std::uint64_t i = 1; i < 5; ++i) {
+    const auto h = p.on_heartbeat_meta(0, meta(i, 100ms), kSimEpoch);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_EQ(*h, p.config().default_heartbeat);  // Step 0: default pace
+    EXPECT_FALSE(p.warmed_up());
+  }
+}
+
+TEST(Policy, TunesAfterMinListSize) {
+  DynatunePolicy p(test_config());
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    p.on_heartbeat_meta(0, meta(i, 100ms), kSimEpoch);
+  }
+  ASSERT_TRUE(p.warmed_up());
+  ASSERT_TRUE(p.tuned_election_timeout().has_value());
+  // sigma = 0 => Et = mean = 100 ms; K floor 2 => h = 50 ms.
+  EXPECT_NEAR(to_ms(*p.tuned_election_timeout()), 100.0, 0.5);
+  EXPECT_NEAR(to_ms(p.election_timeout()), 100.0, 0.5);
+  ASSERT_TRUE(p.tuned_heartbeat().has_value());
+  EXPECT_NEAR(to_ms(*p.tuned_heartbeat()), 50.0, 0.5);
+}
+
+TEST(Policy, SigmaWidensEt) {
+  DynatunePolicy p(test_config());
+  const double rtts[] = {90, 95, 100, 105, 110, 120, 80, 100, 100, 100};
+  std::uint64_t id = 0;
+  for (const double r : rtts) p.on_heartbeat_meta(0, meta(++id, from_ms(r)), kSimEpoch);
+  ASSERT_TRUE(p.warmed_up());
+  EXPECT_GT(to_ms(p.election_timeout()), 100.0);  // mu + 2 sigma > mu
+}
+
+TEST(Policy, LossDrivesHeartbeatIntervalDown) {
+  DynatunePolicy p(test_config());
+  // 30% loss pattern: skip every ids = 0 mod 3 (approximately).
+  std::uint64_t id = 0;
+  for (int i = 0; i < 60; ++i) {
+    ++id;
+    if (id % 3 == 0) continue;  // "lost"
+    p.on_heartbeat_meta(0, meta(id, 100ms), kSimEpoch);
+  }
+  ASSERT_TRUE(p.warmed_up());
+  // p ~ 1/3 => K = 6 (paper example) => h ~ Et/6 ~ 17 ms.
+  ASSERT_TRUE(p.tuned_heartbeat().has_value());
+  EXPECT_LT(to_ms(*p.tuned_heartbeat()), 25.0);
+  EXPECT_GT(to_ms(*p.tuned_heartbeat()), 10.0);
+}
+
+TEST(Policy, FixedKOverridesLossTuning) {
+  DynatuneConfig cfg = test_config();
+  cfg.fixed_k = 10;
+  DynatunePolicy p(cfg);
+  for (std::uint64_t i = 1; i <= 10; ++i) p.on_heartbeat_meta(0, meta(i, 100ms), kSimEpoch);
+  ASSERT_TRUE(p.tuned_heartbeat().has_value());
+  EXPECT_NEAR(to_ms(*p.tuned_heartbeat()), 10.0, 0.5);  // Et/10 regardless of p=0
+}
+
+TEST(Policy, ElectionTimeoutDiscardsDataButKeepsTunedEt) {
+  DynatunePolicy p(test_config());
+  for (std::uint64_t i = 1; i <= 5; ++i) p.on_heartbeat_meta(0, meta(i, 100ms), kSimEpoch);
+  ASSERT_TRUE(p.warmed_up());
+  const Duration tuned = p.election_timeout();
+  p.on_election_timeout();
+  EXPECT_EQ(p.rtt().count(), 0u);   // lists discarded (Step 0)
+  EXPECT_EQ(p.loss().count(), 0u);
+  EXPECT_EQ(p.election_timeout(), tuned);  // fights the election with tuned Et
+}
+
+TEST(Policy, RepeatedTimeoutsFallBackToDefaults) {
+  DynatuneConfig cfg = test_config();
+  cfg.fallback_after_rounds = 3;
+  DynatunePolicy p(cfg);
+  for (std::uint64_t i = 1; i <= 5; ++i) p.on_heartbeat_meta(0, meta(i, 100ms), kSimEpoch);
+  ASSERT_TRUE(p.warmed_up());
+  p.on_election_timeout();
+  p.on_election_timeout();
+  EXPECT_NE(p.election_timeout(), cfg.default_election_timeout);
+  p.on_election_timeout();  // third strike
+  EXPECT_EQ(p.election_timeout(), cfg.default_election_timeout);
+}
+
+TEST(Policy, SuccessfulRetuneResetsTimeoutCounter) {
+  DynatuneConfig cfg = test_config();
+  cfg.fallback_after_rounds = 3;
+  DynatunePolicy p(cfg);
+  std::uint64_t id = 0;
+  for (int i = 0; i < 5; ++i) p.on_heartbeat_meta(0, meta(++id, 100ms), kSimEpoch);
+  p.on_election_timeout();
+  p.on_election_timeout();
+  // Warm up again -> successful retune resets the strike counter.
+  for (int i = 0; i < 5; ++i) p.on_heartbeat_meta(0, meta(++id, 100ms), kSimEpoch);
+  p.on_election_timeout();
+  p.on_election_timeout();
+  EXPECT_NE(p.election_timeout(), cfg.default_election_timeout);
+}
+
+TEST(Policy, LeaderChangeResetsEverything) {
+  DynatunePolicy p(test_config());
+  for (std::uint64_t i = 1; i <= 5; ++i) p.on_heartbeat_meta(0, meta(i, 100ms), kSimEpoch);
+  ASSERT_TRUE(p.warmed_up());
+  p.on_leader_changed(2, 7);
+  EXPECT_FALSE(p.warmed_up());
+  EXPECT_EQ(p.election_timeout(), p.config().default_election_timeout);
+  EXPECT_EQ(p.rtt().count(), 0u);
+}
+
+TEST(Policy, LeaderSideAppliesPiggybackedH) {
+  DynatunePolicy p(test_config());
+  EXPECT_EQ(p.heartbeat_interval(3), p.config().default_heartbeat);
+  p.on_tuned_heartbeat(3, 42ms);
+  EXPECT_EQ(p.heartbeat_interval(3), 42ms);
+  EXPECT_EQ(p.heartbeat_interval(4), p.config().default_heartbeat);  // per-path
+}
+
+TEST(Policy, LeaderSideClampsInsaneH) {
+  DynatunePolicy p(test_config());
+  p.on_tuned_heartbeat(3, Duration{0});
+  EXPECT_GE(p.heartbeat_interval(3), p.config().min_heartbeat);
+}
+
+TEST(Policy, BecomingLeaderClearsPerFollowerState) {
+  DynatunePolicy p(test_config());
+  p.on_tuned_heartbeat(3, 42ms);
+  p.on_became_leader();
+  EXPECT_EQ(p.heartbeat_interval(3), p.config().default_heartbeat);
+}
+
+TEST(Policy, MetaWithoutRttOnlyFeedsLoss) {
+  DynatunePolicy p(test_config());
+  raft::HeartbeatMeta m;
+  m.id = 1;  // no measured_rtt (first heartbeat of a path)
+  p.on_heartbeat_meta(0, m, kSimEpoch);
+  EXPECT_EQ(p.rtt().count(), 0u);
+  EXPECT_EQ(p.loss().count(), 1u);
+}
+
+}  // namespace
+}  // namespace dyna::dt

@@ -1,0 +1,134 @@
+// The paper's tuning formulas, including its own worked numbers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dynatune/tuning.hpp"
+
+namespace dyna::dt {
+namespace {
+
+using namespace std::chrono_literals;
+
+DynatuneConfig base_config() {
+  DynatuneConfig cfg;
+  cfg.min_heartbeats_per_timeout = 1;  // exercise the raw paper formula
+  return cfg;
+}
+
+TEST(ComputeK, PaperWorkedExample) {
+  // p = 0.3, x = 0.999: K = ceil(log_0.3(0.001)) = ceil(5.737) = 6 (§III-D2).
+  EXPECT_EQ(compute_k(0.3, 0.999, 1, 50), 6);
+}
+
+TEST(ComputeK, ZeroLossNeedsOneHeartbeat) {
+  EXPECT_EQ(compute_k(0.0, 0.999, 1, 50), 1);
+  EXPECT_EQ(compute_k(-0.1, 0.999, 1, 50), 1);
+}
+
+TEST(ComputeK, TotalLossClampsToMax) {
+  EXPECT_EQ(compute_k(1.0, 0.999, 1, 50), 50);
+  EXPECT_EQ(compute_k(0.9999, 0.999, 1, 50), 50);
+}
+
+TEST(ComputeK, KnownValuesAcrossLossLevels) {
+  // ceil(ln(0.001)/ln(p)) for the paper's Fig 7 loss ladder.
+  EXPECT_EQ(compute_k(0.05, 0.999, 1, 50), 3);
+  EXPECT_EQ(compute_k(0.10, 0.999, 1, 50), 3);
+  EXPECT_EQ(compute_k(0.15, 0.999, 1, 50), 4);
+  EXPECT_EQ(compute_k(0.20, 0.999, 1, 50), 5);
+  EXPECT_EQ(compute_k(0.25, 0.999, 1, 50), 5);
+  EXPECT_EQ(compute_k(0.30, 0.999, 1, 50), 6);
+}
+
+TEST(ComputeK, TinyLossStillOne) {
+  EXPECT_EQ(compute_k(1e-6, 0.999, 1, 50), 1);
+  EXPECT_EQ(compute_k(0.0009, 0.999, 1, 50), 1);  // p < 1-x: one suffices
+}
+
+TEST(ComputeK, RespectsFloor) {
+  EXPECT_EQ(compute_k(0.0, 0.999, 2, 50), 2);
+  EXPECT_EQ(compute_k(0.3, 0.999, 10, 50), 10);
+}
+
+TEST(ComputeK, HigherTargetNeedsMoreHeartbeats) {
+  const int k_999 = compute_k(0.2, 0.999, 1, 50);
+  const int k_9 = compute_k(0.2, 0.9, 1, 50);
+  EXPECT_GT(k_999, k_9);
+}
+
+TEST(ComputeEt, PaperFormulaMuPlusSSigma) {
+  DynatuneConfig cfg = base_config();
+  cfg.safety_factor = 2.0;
+  EXPECT_EQ(compute_election_timeout(100.0, 10.0, cfg), from_ms(120.0));
+}
+
+TEST(ComputeEt, ZeroSigmaGivesMean) {
+  DynatuneConfig cfg = base_config();
+  EXPECT_EQ(compute_election_timeout(100.0, 0.0, cfg), from_ms(100.0));
+}
+
+TEST(ComputeEt, ClampedToMinimum) {
+  DynatuneConfig cfg = base_config();
+  cfg.min_election_timeout = 10ms;
+  EXPECT_EQ(compute_election_timeout(0.5, 0.0, cfg), cfg.min_election_timeout);
+}
+
+TEST(ComputeEt, ClampedToMaximum) {
+  DynatuneConfig cfg = base_config();
+  cfg.max_election_timeout = 10s;
+  EXPECT_EQ(compute_election_timeout(1e6, 0.0, cfg), cfg.max_election_timeout);
+}
+
+TEST(ComputeH, EvenDivisionOfEt) {
+  DynatuneConfig cfg = base_config();
+  EXPECT_EQ(compute_heartbeat_interval(from_ms(120.0), 6, cfg), from_ms(20.0));
+  EXPECT_EQ(compute_heartbeat_interval(from_ms(100.0), 1, cfg), from_ms(100.0));
+}
+
+TEST(ComputeH, FlooredAtMinimum) {
+  DynatuneConfig cfg = base_config();
+  cfg.min_heartbeat = 1ms;
+  EXPECT_EQ(compute_heartbeat_interval(from_ms(10.0), 50, cfg), cfg.min_heartbeat);
+}
+
+/// Property sweep over (p, x): the chosen K really achieves the delivery
+/// target, and K-1 would not (minimality), within clamps.
+class KTargetSweep : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(KTargetSweep, KIsMinimalAndSufficient) {
+  const auto [p, x] = GetParam();
+  const int k = compute_k(p, x, 1, 1000);
+  // Sufficiency: 1 - p^K >= x.
+  EXPECT_GE(1.0 - std::pow(p, k), x - 1e-12) << "p=" << p << " x=" << x;
+  // Minimality: K-1 heartbeats would miss the target.
+  if (k > 1) {
+    EXPECT_LT(1.0 - std::pow(p, k - 1), x + 1e-12) << "p=" << p << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KTargetSweep,
+    ::testing::Combine(::testing::Values(0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9),
+                       ::testing::Values(0.9, 0.99, 0.999, 0.9999)));
+
+/// Property sweep: h*K never exceeds Et (heartbeats fit inside the timeout),
+/// and h respects the floor.
+class HFitSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HFitSweep, HeartbeatsFitWithinEt) {
+  DynatuneConfig cfg = base_config();
+  const Duration et = from_ms(GetParam());
+  for (int k = 1; k <= 50; ++k) {
+    const Duration h = compute_heartbeat_interval(et, k, cfg);
+    EXPECT_GE(h, cfg.min_heartbeat);
+    if (h > cfg.min_heartbeat) {
+      EXPECT_LE(h * k, et + Duration(k));  // integer division dust allowed
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ets, HFitSweep, ::testing::Values(20.0, 55.0, 100.0, 250.0, 1000.0));
+
+}  // namespace
+}  // namespace dyna::dt

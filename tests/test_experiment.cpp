@@ -1,0 +1,128 @@
+// Experiment drivers: failover measurement and fluctuation timelines.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/experiment.hpp"
+
+namespace dyna {
+namespace {
+
+using namespace std::chrono_literals;
+using cluster::Cluster;
+
+TEST(Failover, MeasuresDetectionAndOts) {
+  Cluster c(cluster::make_raft_config(5, 1));
+  cluster::FailoverOptions opt;
+  opt.kills = 3;
+  opt.settle = 3s;
+  const auto samples = cluster::FailoverExperiment::run(c, opt);
+  ASSERT_EQ(samples.size(), 3u);
+  for (const auto& s : samples) {
+    ASSERT_TRUE(s.ok);
+    EXPECT_GT(s.detection_ms, 0.0);
+    EXPECT_GT(s.ots_ms, s.detection_ms);  // election comes after detection
+    EXPECT_NEAR(s.election_ms, s.ots_ms - s.detection_ms, 1e-9);
+    // Baseline Raft with Et=1000: detection within the randomized bound (plus
+    // in-flight slack), i.e. far below the 10 s settle.
+    EXPECT_LT(s.detection_ms, 2500.0);
+    EXPECT_GT(s.mean_randomized_ms, 1000.0);
+    EXPECT_LT(s.mean_randomized_ms, 2000.0);
+  }
+}
+
+TEST(Failover, ClusterKeepsWorkingAcrossManyKills) {
+  Cluster c(cluster::make_raft_config(5, 2));
+  cluster::FailoverOptions opt;
+  opt.kills = 6;
+  opt.settle = 2s;
+  const auto samples = cluster::FailoverExperiment::run(c, opt);
+  std::size_t ok = 0;
+  for (const auto& s : samples) {
+    if (s.ok) ++ok;
+  }
+  EXPECT_EQ(ok, samples.size());
+}
+
+TEST(Failover, ClockSkewPerturbsMeasurementsOnly) {
+  // With skew the *measured* values wobble but stay plausible; the cluster
+  // itself is unaffected (Raft never reads the probe's clock).
+  Cluster c(cluster::make_raft_config(5, 3));
+  cluster::FailoverOptions opt;
+  opt.kills = 3;
+  opt.settle = 3s;
+  opt.clock_skew_ms = 20.0;
+  const auto samples = cluster::FailoverExperiment::run(c, opt);
+  for (const auto& s : samples) {
+    ASSERT_TRUE(s.ok);
+    EXPECT_GT(s.detection_ms, 500.0);
+    EXPECT_LT(s.detection_ms, 3000.0);
+  }
+}
+
+TEST(Timeline, SamplesTrackSchedule) {
+  cluster::ClusterConfig cfg = cluster::make_raft_config(5, 4);
+  net::LinkCondition base;
+  cfg.links = net::ConditionSchedule::rtt_steps(base, {50ms, 150ms}, 10s);
+  Cluster c(std::move(cfg));
+  ASSERT_TRUE(c.await_leader(30s));
+
+  cluster::TimelineOptions opt;
+  opt.duration = 16s;
+  opt.sample_every = 1s;
+  const auto points = cluster::run_randomized_timeline(c, opt);
+  ASSERT_EQ(points.size(), 16u);
+  // Early samples see 50 ms, late ones 150 ms.
+  EXPECT_NEAR(points.front().rtt_ms, 50.0, 1e-9);
+  EXPECT_NEAR(points.back().rtt_ms, 150.0, 1e-9);
+  for (const auto& p : points) {
+    EXPECT_FALSE(p.ots);  // healthy cluster throughout
+    EXPECT_GT(p.randomized_kth_ms, 0.0);
+  }
+}
+
+TEST(Timeline, KthUsesRunningNodesOnly) {
+  Cluster c(cluster::make_raft_config(5, 5));
+  ASSERT_TRUE(c.await_leader(30s));
+  cluster::TimelineOptions opt;
+  opt.duration = 3s;
+  opt.kth = 3;
+  const auto points = cluster::run_randomized_timeline(c, opt);
+  for (const auto& p : points) {
+    EXPECT_GE(p.randomized_kth_ms, 1000.0);  // baseline draws in [1000, 2000)
+    EXPECT_LT(p.randomized_kth_ms, 2000.0);
+  }
+}
+
+TEST(Probe, LeaderAndTimeoutQueries) {
+  Cluster c(cluster::make_raft_config(3, 6));
+  ASSERT_TRUE(c.await_leader(30s));
+  EXPECT_FALSE(c.probe().leaders().empty());
+  const auto first = c.probe().first_leader_after(kSimEpoch);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->leader, c.current_leader());
+  // Exclusion filter skips the given node.
+  const auto excluded = c.probe().first_leader_after(kSimEpoch, first->leader);
+  if (excluded) EXPECT_NE(excluded->leader, first->leader);
+}
+
+TEST(Probe, ElectionCountsInWindow) {
+  Cluster c(cluster::make_raft_config(3, 7));
+  ASSERT_TRUE(c.await_leader(30s));
+  const auto t0 = c.sim().now();
+  EXPECT_GE(c.probe().elections_started_in(kSimEpoch, t0), 1u);
+  c.sim().run_for(5s);
+  EXPECT_EQ(c.probe().elections_started_in(t0, c.sim().now()), 0u);  // stable
+}
+
+TEST(Probe, ClockOffsetsShiftRecordedTimes) {
+  cluster::Probe probe;
+  probe.set_clock_offset(1, 50ms);
+  probe.on_election_timeout(1, 3, kSimEpoch + 100ms);
+  probe.on_election_timeout(2, 3, kSimEpoch + 100ms);
+  ASSERT_EQ(probe.timeouts().size(), 2u);
+  EXPECT_EQ(probe.timeouts()[0].when, kSimEpoch + 150ms);
+  EXPECT_EQ(probe.timeouts()[1].when, kSimEpoch + 100ms);
+}
+
+}  // namespace
+}  // namespace dyna

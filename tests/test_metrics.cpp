@@ -1,0 +1,110 @@
+// Metrics: empirical CDFs, time series, table formatting.
+#include <gtest/gtest.h>
+
+#include "metrics/cdf.hpp"
+#include "metrics/report.hpp"
+#include "metrics/timeseries.hpp"
+
+namespace dyna::metrics {
+namespace {
+
+TEST(Cdf, QuantilesOfUniformGrid) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  EmpiricalCdf cdf(std::move(v));
+  EXPECT_EQ(cdf.count(), 100u);
+  EXPECT_NEAR(cdf.quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(cdf.quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(cdf.quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(cdf.mean(), 50.5, 1e-9);
+}
+
+TEST(Cdf, ProbabilityAtSteps) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.probability_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.probability_at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.probability_at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.probability_at(100.0), 1.0);
+}
+
+TEST(Cdf, AddKeepsSortedInvariant) {
+  EmpiricalCdf cdf;
+  for (const double x : {5.0, 1.0, 3.0, 2.0, 4.0}) cdf.add(x);
+  const auto& s = cdf.sorted_samples();
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 3.0);
+}
+
+TEST(Cdf, PointsEndAtFullProbability) {
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  EmpiricalCdf cdf(std::move(v));
+  const auto pts = cdf.points(20);
+  ASSERT_FALSE(pts.empty());
+  EXPECT_LE(pts.size(), 22u);
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].first, pts[i - 1].first);
+    EXPECT_GE(pts[i].second, pts[i - 1].second);
+  }
+}
+
+TEST(Cdf, EmptyBehaviour) {
+  EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.probability_at(1.0), 0.0);
+  EXPECT_TRUE(cdf.points().empty());
+}
+
+TEST(TimeSeries, PushAndRangeMean) {
+  TimeSeries ts("x");
+  for (int i = 0; i < 10; ++i) ts.push_sec(i, i * 10.0);
+  EXPECT_EQ(ts.points().size(), 10u);
+  EXPECT_DOUBLE_EQ(ts.mean_in(0.0, 10.0), 45.0);
+  EXPECT_DOUBLE_EQ(ts.mean_in(5.0, 7.0), 55.0);  // values 50, 60
+  EXPECT_DOUBLE_EQ(ts.mean_in(100.0, 200.0), 0.0);
+}
+
+TEST(TimeSeries, MinMax) {
+  TimeSeries ts("x");
+  ts.push_sec(0, 5);
+  ts.push_sec(1, -2);
+  ts.push_sec(2, 9);
+  EXPECT_DOUBLE_EQ(ts.min_value(), -2.0);
+  EXPECT_DOUBLE_EQ(ts.max_value(), 9.0);
+}
+
+TEST(TimeSeries, PushWithTimePoint) {
+  TimeSeries ts("x");
+  ts.push(kSimEpoch + std::chrono::seconds(3), 7.0);
+  EXPECT_DOUBLE_EQ(ts.points().front().t_sec, 3.0);
+}
+
+TEST(Table, NumFormatsDecimals) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+  EXPECT_EQ(Table::num(-1.5), "-1.5");
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"b", "22222"});
+  // Render into a temp file and check basic structure.
+  const std::string path = ::testing::TempDir() + "/table_test.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  t.print(f);
+  std::fclose(f);
+  std::FILE* in = std::fopen(path.c_str(), "r");
+  char buf[256];
+  ASSERT_NE(std::fgets(buf, sizeof buf, in), nullptr);
+  EXPECT_TRUE(std::string(buf).find("name") != std::string::npos);
+  ASSERT_NE(std::fgets(buf, sizeof buf, in), nullptr);  // rule
+  EXPECT_EQ(buf[0], '-');
+  std::fclose(in);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dyna::metrics

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <any>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/condition.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace dyna::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Harness {
+  sim::Simulator sim;
+  Network net{sim, Rng(42)};
+  std::vector<std::pair<NodeId, int>> received;  // (receiver, payload)
+
+  NodeId add_receiver() {
+    const NodeId id = net.add_node(nullptr);
+    net.set_handler(id, [this, id](NodeId /*from*/, const std::any& p) {
+      received.emplace_back(id, std::any_cast<int>(p));
+    });
+    return id;
+  }
+};
+
+TEST(Network, DeliversDatagram) {
+  Harness h;
+  const NodeId a = h.net.add_node();
+  const NodeId b = h.add_receiver();
+  h.net.send(a, b, std::any(7), Transport::Datagram);
+  h.sim.run_all();
+  ASSERT_EQ(h.received.size(), 1u);
+  EXPECT_EQ(h.received[0], std::make_pair(b, 7));
+}
+
+TEST(Network, DeliveryTakesAboutHalfRtt) {
+  Harness h;
+  LinkCondition cond;
+  cond.rtt = 100ms;
+  h.net.set_default_schedule(ConditionSchedule::constant(cond));
+  const NodeId a = h.net.add_node();
+  const NodeId b = h.add_receiver();
+  h.net.send(a, b, std::any(1), Transport::Datagram);
+  h.sim.run_all();
+  const double t = to_ms(h.sim.now());
+  EXPECT_NEAR(t, 50.0, 1.0);  // one-way = rtt/2 (+ sub-ms OS noise)
+}
+
+TEST(Network, EmpiricalLossRateMatchesConfig) {
+  Harness h;
+  LinkCondition cond;
+  cond.rtt = 1ms;
+  cond.loss = 0.25;
+  h.net.set_default_schedule(ConditionSchedule::constant(cond));
+  const NodeId a = h.net.add_node();
+  const NodeId b = h.add_receiver();
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) h.net.send(a, b, std::any(i), Transport::Datagram);
+  h.sim.run_all();
+  EXPECT_NEAR(static_cast<double>(h.received.size()) / n, 0.75, 0.02);
+  EXPECT_EQ(h.net.traffic(b).lost + h.received.size(), static_cast<std::uint64_t>(n));
+}
+
+TEST(Network, ReliableNeverLosesAndStaysFifo) {
+  Harness h;
+  LinkCondition cond;
+  cond.rtt = 50ms;
+  cond.jitter = 20ms;  // heavy jitter would reorder datagrams
+  cond.loss = 0.3;     // reliable transport absorbs loss as delay
+  h.net.set_default_schedule(ConditionSchedule::constant(cond));
+  const NodeId a = h.net.add_node();
+  const NodeId b = h.add_receiver();
+  const int n = 500;
+  for (int i = 0; i < n; ++i) h.net.send(a, b, std::any(i), Transport::Reliable);
+  h.sim.run_all();
+  ASSERT_EQ(h.received.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) EXPECT_EQ(h.received[i].second, i) << "reordered at " << i;
+}
+
+TEST(Network, DatagramsCanReorderUnderJitter) {
+  Harness h;
+  LinkCondition cond;
+  cond.rtt = 50ms;
+  cond.jitter = 15ms;
+  h.net.set_default_schedule(ConditionSchedule::constant(cond));
+  const NodeId a = h.net.add_node();
+  const NodeId b = h.add_receiver();
+  for (int i = 0; i < 500; ++i) h.net.send(a, b, std::any(i), Transport::Datagram);
+  h.sim.run_all();
+  bool reordered = false;
+  for (std::size_t i = 1; i < h.received.size(); ++i) {
+    if (h.received[i].second < h.received[i - 1].second) reordered = true;
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(Network, DuplicateProbabilityProducesDuplicates) {
+  Harness h;
+  LinkCondition cond;
+  cond.rtt = 1ms;
+  cond.duplicate = 0.5;
+  h.net.set_default_schedule(ConditionSchedule::constant(cond));
+  const NodeId a = h.net.add_node();
+  const NodeId b = h.add_receiver();
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) h.net.send(a, b, std::any(i), Transport::Datagram);
+  h.sim.run_all();
+  EXPECT_NEAR(static_cast<double>(h.received.size()), n * 1.5, n * 0.06);
+}
+
+TEST(Network, TrafficCountersTrackBytes) {
+  Harness h;
+  const NodeId a = h.net.add_node();
+  const NodeId b = h.add_receiver();
+  h.net.send(a, b, std::any(1), Transport::Reliable, 100);
+  h.net.send(a, b, std::any(2), Transport::Reliable, 50);
+  h.sim.run_all();
+  EXPECT_EQ(h.net.traffic(a).sent, 2u);
+  EXPECT_EQ(h.net.traffic(a).sent_bytes, 150u);
+  EXPECT_EQ(h.net.traffic(b).received, 2u);
+  EXPECT_EQ(h.net.traffic(b).received_bytes, 150u);
+}
+
+TEST(Network, PerLinkScheduleOverridesDefault) {
+  Harness h;
+  LinkCondition fast;
+  fast.rtt = 10ms;
+  LinkCondition slow;
+  slow.rtt = 300ms;
+  h.net.set_default_schedule(ConditionSchedule::constant(fast));
+  const NodeId a = h.net.add_node();
+  const NodeId b = h.add_receiver();
+  const NodeId c = h.add_receiver();
+  h.net.set_path_schedule(a, c, ConditionSchedule::constant(slow));
+  EXPECT_EQ(h.net.condition(a, b).rtt, 10ms);
+  EXPECT_EQ(h.net.condition(a, c).rtt, 300ms);
+  EXPECT_EQ(h.net.condition(c, a).rtt, 300ms);
+}
+
+TEST(ConditionSchedule, ConstantAlwaysSame) {
+  LinkCondition c;
+  c.rtt = 77ms;
+  const auto sched = ConditionSchedule::constant(c);
+  EXPECT_EQ(sched.at(kSimEpoch).rtt, 77ms);
+  EXPECT_EQ(sched.at(kSimEpoch + 1h).rtt, 77ms);
+}
+
+TEST(ConditionSchedule, StepsSwitchAtBoundaries) {
+  LinkCondition base;
+  const auto sched = ConditionSchedule::rtt_steps(base, {10ms, 20ms, 30ms}, 60s);
+  EXPECT_EQ(sched.at(kSimEpoch).rtt, 10ms);
+  EXPECT_EQ(sched.at(kSimEpoch + 59s).rtt, 10ms);
+  EXPECT_EQ(sched.at(kSimEpoch + 60s).rtt, 20ms);
+  EXPECT_EQ(sched.at(kSimEpoch + 120s).rtt, 30ms);
+  EXPECT_EQ(sched.at(kSimEpoch + 10h).rtt, 30ms);
+}
+
+TEST(ConditionSchedule, RampUpDownIsSymmetric) {
+  LinkCondition base;
+  const auto sched = ConditionSchedule::rtt_ramp_up_down(base, 50ms, 200ms, 10ms, 60s);
+  // 16 steps up (50..200), 15 steps down (190..50) = 31 segments.
+  EXPECT_EQ(sched.segments().size(), 31u);
+  EXPECT_EQ(sched.segments().front().condition.rtt, 50ms);
+  EXPECT_EQ(sched.segments()[15].condition.rtt, 200ms);
+  EXPECT_EQ(sched.segments().back().condition.rtt, 50ms);
+}
+
+TEST(ConditionSchedule, SpikePattern) {
+  LinkCondition base;
+  const auto sched = ConditionSchedule::rtt_spike(base, 50ms, 500ms, kSimEpoch + 60s, 60s);
+  EXPECT_EQ(sched.at(kSimEpoch + 30s).rtt, 50ms);
+  EXPECT_EQ(sched.at(kSimEpoch + 90s).rtt, 500ms);
+  EXPECT_EQ(sched.at(kSimEpoch + 150s).rtt, 50ms);
+}
+
+TEST(ConditionSchedule, LossRampHitsAllLevels) {
+  LinkCondition base;
+  const auto sched = ConditionSchedule::loss_ramp_up_down(base, 0.0, 0.30, 0.05, 180s);
+  // 0,5,...,30 up (7) + 25,...,0 down (6) = 13 segments.
+  EXPECT_EQ(sched.segments().size(), 13u);
+  EXPECT_DOUBLE_EQ(sched.segments()[6].condition.loss, 0.30);
+  EXPECT_DOUBLE_EQ(sched.segments().back().condition.loss, 0.0);
+}
+
+TEST(Network, ScheduleChangesDelayMidFlight) {
+  Harness h;
+  LinkCondition slow;
+  slow.rtt = 200ms;
+  LinkCondition fast;
+  fast.rtt = 20ms;
+  h.net.set_default_schedule(ConditionSchedule(
+      {{kSimEpoch, slow}, {kSimEpoch + 1s, fast}}));
+  const NodeId a = h.net.add_node();
+  const NodeId b = h.add_receiver();
+  h.net.send(a, b, std::any(1), Transport::Datagram);
+  h.sim.run_all();
+  EXPECT_NEAR(to_ms(h.sim.now()), 100.0, 2.0);
+  h.sim.run_until(kSimEpoch + 2s);
+  h.net.send(a, b, std::any(2), Transport::Datagram);
+  h.sim.run_all();
+  EXPECT_NEAR(to_ms(h.sim.now()) - 2000.0, 10.0, 1.0);
+}
+
+}  // namespace
+}  // namespace dyna::net

@@ -1,0 +1,169 @@
+// The paper's §IV-E future-work optimizations, implemented as config flags:
+//  (a) suppress empty heartbeats when replication traffic covers liveness
+//  (b) consolidated broadcast heartbeat timer paced at the minimum tuned h
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "cluster/cluster.hpp"
+#include "kvstore/client.hpp"
+#include "kvstore/command.hpp"
+#include "raft/observer.hpp"
+
+namespace dyna {
+namespace {
+
+using namespace std::chrono_literals;
+using cluster::Cluster;
+
+class HeartbeatCounter final : public raft::Observer {
+ public:
+  void on_message_sent(NodeId from, NodeId, raft::MsgKind kind, std::size_t,
+                       TimePoint) override {
+    if (kind == raft::MsgKind::Heartbeat) ++sent_[from];
+    if (kind == raft::MsgKind::Append) ++appends_[from];
+  }
+
+  [[nodiscard]] std::uint64_t heartbeats(NodeId node) const {
+    const auto it = sent_.find(node);
+    return it == sent_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] std::uint64_t appends(NodeId node) const {
+    const auto it = appends_.find(node);
+    return it == appends_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::map<NodeId, std::uint64_t> sent_;
+  std::map<NodeId, std::uint64_t> appends_;
+};
+
+struct LoadedRun {
+  std::uint64_t heartbeats = 0;
+  std::uint64_t appends = 0;
+  std::size_t elections = 0;
+  std::uint64_t completed = 0;
+};
+
+LoadedRun run_under_load(bool suppress, std::uint64_t seed) {
+  HeartbeatCounter counter;
+  cluster::ClusterConfig cfg = cluster::make_dynatune_config(5, seed);
+  cfg.raft.suppress_heartbeats_under_load = suppress;
+  cfg.observers.push_back(&counter);
+  Cluster c(std::move(cfg));
+  if (!c.await_leader(30s)) return {};
+  c.sim().run_for(8s);  // warm up tuning
+  const TimePoint load_start = c.sim().now();
+  const NodeId leader = c.current_leader();
+
+  kv::KvClient client(c.sim(), c.network(), c.server_ids(), c.fork_rng(1));
+  bool pumping = true;
+  int i = 0;
+  std::function<void()> pump = [&] {
+    if (!pumping) return;
+    client.put("k" + std::to_string(i++ % 32), "v", nullptr);
+    c.sim().schedule_after(2ms, pump);  // ~500 req/s: constant append traffic
+  };
+  c.sim().schedule_after(0ms, pump);
+  c.sim().run_for(30s);
+  pumping = false;
+  c.sim().run_for(2s);
+
+  LoadedRun out;
+  out.heartbeats = counter.heartbeats(leader);
+  out.appends = counter.appends(leader);
+  out.elections = c.probe().elections_started_in(load_start, c.sim().now());
+  out.completed = client.completed();
+  return out;
+}
+
+TEST(SuppressHeartbeats, FewerEmptyBeatsUnderLoadSameAvailability) {
+  const LoadedRun baseline = run_under_load(false, 31);
+  const LoadedRun suppressed = run_under_load(true, 31);
+  ASSERT_GT(baseline.completed, 1000u);
+  ASSERT_GT(suppressed.completed, 1000u);
+  // The optimization must cut the leader's empty-heartbeat volume hard...
+  EXPECT_LT(suppressed.heartbeats, baseline.heartbeats / 2)
+      << "baseline=" << baseline.heartbeats << " suppressed=" << suppressed.heartbeats;
+  // ...without destabilizing the cluster (no elections under steady load).
+  EXPECT_EQ(suppressed.elections, 0u);
+  EXPECT_GT(suppressed.appends, 0u);
+}
+
+TEST(SuppressHeartbeats, IdleClusterStillHeartbeats) {
+  HeartbeatCounter counter;
+  cluster::ClusterConfig cfg = cluster::make_dynatune_config(3, 32);
+  cfg.raft.suppress_heartbeats_under_load = true;
+  cfg.observers.push_back(&counter);
+  Cluster c(std::move(cfg));
+  ASSERT_TRUE(c.await_leader(30s));
+  c.sim().run_for(10s);
+  // No client load: heartbeats must keep flowing (they are the liveness and
+  // the measurement channel).
+  EXPECT_GT(counter.heartbeats(c.current_leader()), 50u);
+}
+
+TEST(SuppressHeartbeats, FailoverStillWorksUnderLoad) {
+  cluster::ClusterConfig cfg = cluster::make_dynatune_config(5, 33);
+  cfg.raft.suppress_heartbeats_under_load = true;
+  Cluster c(std::move(cfg));
+  ASSERT_TRUE(c.await_leader(30s));
+  c.sim().run_for(8s);
+  const NodeId leader = c.current_leader();
+  c.pause(leader);
+  c.sim().run_for(15s);
+  EXPECT_NE(c.current_leader(), kNoNode);
+  EXPECT_NE(c.current_leader(), leader);
+  c.resume(leader);
+}
+
+TEST(ConsolidatedTimer, BroadcastPacedAtMinimumTunedH) {
+  cluster::ClusterConfig cfg = cluster::make_dynatune_config(3, 34);
+  cfg.raft.per_follower_heartbeat = false;       // single broadcast timer
+  cfg.raft.consolidated_heartbeat_timer = true;  // paced at min tuned h
+  net::LinkCondition fast;
+  fast.rtt = 40ms;
+  net::LinkCondition slow;
+  slow.rtt = 240ms;
+  cfg.links = net::ConditionSchedule::constant(fast);
+  HeartbeatCounter counter;
+  cfg.observers.push_back(&counter);
+  Cluster c(std::move(cfg));
+  c.network().set_path_schedule(0, 2, net::ConditionSchedule::constant(slow));
+  c.network().set_path_schedule(1, 2, net::ConditionSchedule::constant(slow));
+  ASSERT_TRUE(c.await_leader(30s));
+  c.sim().run_for(10s);
+  const NodeId leader = c.current_leader();
+  // The broadcast must be paced by the *minimum* tuned h across followers
+  // (which follower that is depends on who won the election).
+  double min_h_ms = 1e9;
+  for (const NodeId id : c.server_ids()) {
+    if (id == leader) continue;
+    min_h_ms = std::min(min_h_ms, to_ms(c.node(leader).effective_heartbeat_interval(id)));
+  }
+  const std::uint64_t before = counter.heartbeats(leader);
+  c.sim().run_for(10s);
+  const double rate = static_cast<double>(counter.heartbeats(leader) - before) / 10.0;
+  const double expected = 2.0 * 1000.0 / min_h_ms;  // 2 followers, one beat each per min-h
+  EXPECT_GT(rate, expected * 0.6) << "min_h=" << min_h_ms;
+  EXPECT_LT(rate, expected * 1.6) << "min_h=" << min_h_ms;
+}
+
+TEST(ConsolidatedTimer, StaticConfigUnaffectedByFlag) {
+  cluster::ClusterConfig cfg = cluster::make_raft_config(3, 35);
+  cfg.raft.consolidated_heartbeat_timer = true;  // StaticPolicy: min h == h
+  HeartbeatCounter counter;
+  cfg.observers.push_back(&counter);
+  Cluster c(std::move(cfg));
+  ASSERT_TRUE(c.await_leader(30s));
+  const NodeId leader = c.current_leader();
+  const std::uint64_t before = counter.heartbeats(leader);
+  c.sim().run_for(10s);
+  const double rate = static_cast<double>(counter.heartbeats(leader) - before) / 10.0;
+  // 2 followers x 10 beats/s at the default 100 ms interval.
+  EXPECT_NEAR(rate, 20.0, 5.0);
+}
+
+}  // namespace
+}  // namespace dyna

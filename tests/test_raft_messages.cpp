@@ -1,0 +1,75 @@
+// Wire-format helpers: message sizing, heartbeat classification, role names.
+#include <gtest/gtest.h>
+
+#include "raft/message.hpp"
+#include "raft/types.hpp"
+
+namespace dyna::raft {
+namespace {
+
+TEST(Messages, EmptyAppendIsHeartbeat) {
+  AppendEntriesRequest req;
+  EXPECT_TRUE(req.is_heartbeat());
+  req.entries.push_back(LogEntry{1, 1, Command{"x", kNoNode, 0}});
+  EXPECT_FALSE(req.is_heartbeat());
+}
+
+TEST(Messages, ApproxSizeGrowsWithEntries) {
+  AppendEntriesRequest req;
+  const std::size_t empty = approx_size(Message(req));
+  req.entries.push_back(LogEntry{1, 1, Command{std::string(100, 'a'), kNoNode, 0}});
+  const std::size_t one = approx_size(Message(req));
+  req.entries.push_back(LogEntry{1, 2, Command{std::string(100, 'b'), kNoNode, 0}});
+  const std::size_t two = approx_size(Message(req));
+  EXPECT_GT(one, empty + 100);
+  EXPECT_NEAR(static_cast<double>(two - one), static_cast<double>(one - empty), 1.0);
+}
+
+TEST(Messages, ApproxSizeCoversAllVariants) {
+  EXPECT_GT(approx_size(Message(AppendEntriesRequest{})), 0u);
+  EXPECT_GT(approx_size(Message(AppendEntriesResponse{})), 0u);
+  EXPECT_GT(approx_size(Message(PreVoteRequest{})), 0u);
+  EXPECT_GT(approx_size(Message(PreVoteResponse{})), 0u);
+  EXPECT_GT(approx_size(Message(RequestVoteRequest{})), 0u);
+  EXPECT_GT(approx_size(Message(RequestVoteResponse{})), 0u);
+  EXPECT_GT(approx_size(Message(ClientRequest{})), 0u);
+  EXPECT_GT(approx_size(Message(ClientResponse{})), 0u);
+}
+
+TEST(Messages, ClientPayloadCountsTowardSize) {
+  ClientRequest small;
+  ClientRequest big;
+  big.command.payload = std::string(500, 'x');
+  EXPECT_EQ(approx_size(Message(big)), approx_size(Message(small)) + 500);
+}
+
+TEST(Messages, HeartbeatMetaDefaults) {
+  HeartbeatMeta meta;
+  EXPECT_EQ(meta.id, 0u);
+  EXPECT_FALSE(meta.measured_rtt.has_value());
+}
+
+TEST(Types, RoleNames) {
+  EXPECT_EQ(to_string(Role::Follower), "follower");
+  EXPECT_EQ(to_string(Role::PreCandidate), "pre-candidate");
+  EXPECT_EQ(to_string(Role::Candidate), "candidate");
+  EXPECT_EQ(to_string(Role::Leader), "leader");
+}
+
+TEST(Types, NoopDetection) {
+  Command cmd;
+  EXPECT_TRUE(cmd.is_noop());
+  cmd.payload = "p";
+  EXPECT_FALSE(cmd.is_noop());
+}
+
+TEST(Types, LogEntryEquality) {
+  const LogEntry a{3, 7, Command{"x", 2, 9}};
+  LogEntry b = a;
+  EXPECT_EQ(a, b);
+  b.term = 4;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace dyna::raft

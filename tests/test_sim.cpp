@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace dyna::sim {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Simulator, StartsAtEpoch) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), kSimEpoch);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(30ms, [&] { order.push_back(3); });
+  sim.schedule_after(10ms, [&] { order.push_back(1); });
+  sim.schedule_after(20ms, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), kSimEpoch + 30ms);
+}
+
+TEST(Simulator, SameTimeEventsAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(5ms, [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, CallbackCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 5) sim.schedule_after(1ms, chain);
+  };
+  sim.schedule_after(1ms, chain);
+  sim.run_all();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), kSimEpoch + 5ms);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_after(10ms, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+  sim.run_all();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_after(1ms, [] {});
+  sim.run_all();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, RunUntilAdvancesClockExactly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(10ms, [&] { ++fired; });
+  sim.schedule_after(100ms, [&] { ++fired; });
+  sim.run_until(kSimEpoch + 50ms);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), kSimEpoch + 50ms);
+  sim.run_for(50ms);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), kSimEpoch + 100ms);
+}
+
+TEST(Simulator, RunForTilesTimeExactly) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.run_for(7ms);
+  EXPECT_EQ(sim.now(), kSimEpoch + 70ms);
+}
+
+TEST(Simulator, EventAtHorizonBoundaryFires) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_after(50ms, [&] { ran = true; });
+  sim.run_until(kSimEpoch + 50ms);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, PastScheduleClampsToNow) {
+  Simulator sim;
+  sim.run_for(100ms);
+  bool ran = false;
+  sim.schedule_at(kSimEpoch + 10ms, [&] { ran = true; });  // in the past
+  sim.step();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), kSimEpoch + 100ms);  // clock never goes backwards
+}
+
+TEST(Simulator, PendingCountsLiveEvents) {
+  Simulator sim;
+  const EventId a = sim.schedule_after(1ms, [] {});
+  sim.schedule_after(2ms, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_all();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, DeterministicTrace) {
+  auto trace = [] {
+    Simulator sim;
+    std::vector<std::int64_t> times;
+    for (int i = 0; i < 100; ++i) {
+      sim.schedule_after(std::chrono::milliseconds((i * 37) % 50), [&times, &sim] {
+        times.push_back(sim.now().time_since_epoch().count());
+      });
+    }
+    sim.run_all();
+    return times;
+  };
+  EXPECT_EQ(trace(), trace());
+}
+
+TEST(Timer, FiresOncePerArm) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.arm(10ms);
+  sim.run_for(100ms);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(Timer, RearmCancelsPrevious) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.arm(10ms);
+  sim.run_for(5ms);
+  t.arm(10ms);  // pushes deadline to 15ms
+  sim.run_for(6ms);
+  EXPECT_EQ(fired, 0);  // old deadline (10ms) must not fire
+  sim.run_for(10ms);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Timer, CancelStopsFiring) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.arm(10ms);
+  t.cancel();
+  EXPECT_FALSE(t.armed());
+  sim.run_for(50ms);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, DeadlineReflectsArm) {
+  Simulator sim;
+  Timer t(sim, [] {});
+  EXPECT_EQ(t.deadline(), kNever);
+  t.arm(25ms);
+  EXPECT_EQ(t.deadline(), kSimEpoch + 25ms);
+  t.cancel();
+  EXPECT_EQ(t.deadline(), kNever);
+}
+
+TEST(Timer, CanRearmFromItsOwnCallback) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] {});
+  Timer periodic(sim, [&] {
+    if (++fired < 4) periodic.arm(10ms);
+  });
+  periodic.arm(10ms);
+  sim.run_for(1s);
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(Timer, DestructorCancels) {
+  Simulator sim;
+  int fired = 0;
+  {
+    Timer t(sim, [&] { ++fired; });
+    t.arm(10ms);
+  }
+  sim.run_for(50ms);
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace dyna::sim
