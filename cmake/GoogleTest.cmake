@@ -1,0 +1,58 @@
+# Resolve a GoogleTest to link the suites against, in order of preference:
+#
+#  1. A system-installed GTest (libgtest-dev providing a CMake config or the
+#     classic FindGTest module) — the offline-friendly default.
+#  2. A vendored source tree: either third_party/googletest in this repo or
+#     the Debian-style /usr/src/googletest source drop.
+#  3. FetchContent from the upstream release tarball (needs network); enable
+#     with -DDYNATUNE_FETCH_GTEST=ON to force this path.
+#
+# Afterwards the canonical GTest::gtest / GTest::gtest_main targets exist.
+
+option(DYNATUNE_FETCH_GTEST "Download GoogleTest with FetchContent instead of using a system/vendored copy" OFF)
+
+set(_dynatune_gtest_found FALSE)
+
+if(NOT DYNATUNE_FETCH_GTEST)
+  find_package(GTest QUIET)
+  if(GTest_FOUND OR GTEST_FOUND)
+    set(_dynatune_gtest_found TRUE)
+    message(STATUS "dynatune: using system GoogleTest")
+  endif()
+endif()
+
+if(NOT _dynatune_gtest_found AND NOT DYNATUNE_FETCH_GTEST)
+  foreach(_gtest_src
+      "${CMAKE_SOURCE_DIR}/third_party/googletest"
+      "/usr/src/googletest")
+    if(EXISTS "${_gtest_src}/CMakeLists.txt")
+      message(STATUS "dynatune: building vendored GoogleTest from ${_gtest_src}")
+      set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+      add_subdirectory("${_gtest_src}" "${CMAKE_BINARY_DIR}/_deps/googletest" EXCLUDE_FROM_ALL)
+      set(_dynatune_gtest_found TRUE)
+      break()
+    endif()
+  endforeach()
+endif()
+
+if(NOT _dynatune_gtest_found)
+  message(STATUS "dynatune: fetching GoogleTest v1.14.0 with FetchContent")
+  include(FetchContent)
+  FetchContent_Declare(googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+    DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+endif()
+
+# Older FindGTest modules and in-tree builds export gtest/gtest_main without
+# the GTest:: namespace; alias them so the rest of the build can rely on it.
+if(NOT TARGET GTest::gtest AND TARGET gtest)
+  add_library(GTest::gtest ALIAS gtest)
+endif()
+if(NOT TARGET GTest::gtest_main AND TARGET gtest_main)
+  add_library(GTest::gtest_main ALIAS gtest_main)
+endif()
+
+include(GoogleTest)

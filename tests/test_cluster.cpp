@@ -140,7 +140,9 @@ TEST(Topology, AwsMatrixIsSymmetricAndComplete) {
     EXPECT_EQ(t.rtt[a][a], Duration{0});
     for (std::size_t b = 0; b < 5; ++b) {
       EXPECT_EQ(t.rtt[a][b], t.rtt[b][a]) << a << "," << b;
-      if (a != b) EXPECT_GT(t.rtt[a][b], 50ms);
+      if (a != b) {
+        EXPECT_GT(t.rtt[a][b], 50ms);
+      }
     }
   }
 }

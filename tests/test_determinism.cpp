@@ -10,22 +10,20 @@
 #include "cluster/cluster.hpp"
 #include "cluster/experiment.hpp"
 #include "kvstore/client.hpp"
+#include "test_support.hpp"
 
 namespace dyna {
 namespace {
 
 using namespace std::chrono_literals;
 using cluster::Cluster;
+using testutil::constant_link;
 
 /// Serialize everything observable about a run into one comparable string.
 std::string trace_of(std::uint64_t seed, bool dynatune) {
   cluster::ClusterConfig cfg = dynatune ? cluster::make_dynatune_config(5, seed)
                                         : cluster::make_raft_config(5, seed);
-  net::LinkCondition link;
-  link.rtt = 60ms;
-  link.jitter = 5ms;
-  link.loss = 0.02;
-  cfg.links = net::ConditionSchedule::constant(link);
+  cfg.links = constant_link(60ms, 5ms, 0.02);
   cfg.transport.stall.mean_interval = 3s;
   Cluster c(std::move(cfg));
   c.await_leader(60s);
@@ -78,6 +76,56 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismSweep,
 
 TEST(Determinism, DifferentSeedsProduceDifferentTraces) {
   EXPECT_NE(trace_of(1001, true), trace_of(2002, true));
+}
+
+/// Full cluster::Experiment path: timeline sampling plus failover kills on a
+/// fluctuating Dynatune WAN, serialized down to every metric field. Two runs
+/// with one seed must agree byte-for-byte; a different seed must not.
+std::string experiment_trace_of(std::uint64_t seed) {
+  cluster::ClusterConfig cfg = cluster::make_dynatune_config(5, seed);
+  net::LinkCondition base;
+  base.jitter = 2ms;
+  base.loss = 0.01;
+  cfg.links = net::ConditionSchedule::rtt_steps(base, {40ms, 160ms, 80ms}, 20s);
+  Cluster c(std::move(cfg));
+  c.await_leader(60s);
+
+  std::ostringstream out;
+  out.precision(17);  // doubles round-trip exactly -> byte-identical or bust
+
+  cluster::TimelineOptions topt;
+  topt.duration = 30s;
+  for (const auto& p : cluster::run_randomized_timeline(c, topt)) {
+    out << "T" << p.t_sec << "," << p.randomized_kth_ms << "," << p.rtt_ms << ","
+        << p.ots << ";";
+  }
+
+  cluster::FailoverOptions fopt;
+  fopt.kills = 2;
+  fopt.settle = 3s;
+  for (const auto& s : cluster::FailoverExperiment::run(c, fopt)) {
+    out << "F" << s.detection_ms << "," << s.ots_ms << "," << s.election_ms << ","
+        << s.mean_randomized_ms << "," << s.ok << ";";
+  }
+
+  out << "events=" << c.sim().executed() << ";";
+  for (const NodeId id : c.server_ids()) {
+    const auto& t = c.network().traffic(id);
+    out << "n" << id << ":commit=" << c.node(id).commit_index()
+        << ",term=" << c.node(id).term() << ",sent=" << t.sent << ",recv=" << t.received
+        << ",lost=" << t.lost << ";";
+  }
+  return out.str();
+}
+
+TEST(Determinism, FullExperimentPathByteIdentical) {
+  const std::string a = experiment_trace_of(7);
+  EXPECT_EQ(a, experiment_trace_of(7));
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(Determinism, FullExperimentPathSeedSensitive) {
+  EXPECT_NE(experiment_trace_of(7), experiment_trace_of(8));
 }
 
 TEST(Determinism, FailoverExperimentReproducible) {

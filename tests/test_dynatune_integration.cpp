@@ -6,30 +6,27 @@
 #include "cluster/cluster.hpp"
 #include "cluster/experiment.hpp"
 #include "dynatune/policy.hpp"
+#include "test_support.hpp"
 
 namespace dyna {
 namespace {
 
 using namespace std::chrono_literals;
 using cluster::Cluster;
-
-dt::DynatunePolicy& policy_of(Cluster& c, NodeId id) {
-  return dynamic_cast<dt::DynatunePolicy&>(c.node(id).policy());
-}
+using testutil::constant_link;
+using testutil::policy_of;
+using testutil::start_cluster;
 
 TEST(DynatuneIntegration, FollowersWarmUpAndTuneEt) {
   cluster::ClusterConfig cfg = cluster::make_dynatune_config(5, 1);
-  net::LinkCondition link;
-  link.rtt = 100ms;
-  cfg.links = net::ConditionSchedule::constant(link);
-  Cluster c(std::move(cfg));
-  ASSERT_TRUE(c.await_leader(30s));
-  c.sim().run_for(10s);
-  const NodeId leader = c.current_leader();
+  cfg.links = constant_link(100ms);
+  auto c = start_cluster(std::move(cfg));
+  c->sim().run_for(10s);
+  const NodeId leader = c->current_leader();
   int warmed = 0;
-  for (const NodeId id : c.server_ids()) {
+  for (const NodeId id : c->server_ids()) {
     if (id == leader) continue;
-    auto& p = policy_of(c, id);
+    auto& p = policy_of(*c, id);
     if (p.warmed_up()) {
       ++warmed;
       ASSERT_TRUE(p.tuned_election_timeout().has_value());
@@ -42,15 +39,11 @@ TEST(DynatuneIntegration, FollowersWarmUpAndTuneEt) {
 
 TEST(DynatuneIntegration, LeaderMeasuresPerPathRtt) {
   cluster::ClusterConfig cfg = cluster::make_dynatune_config(3, 2);
-  net::LinkCondition fast;
-  fast.rtt = 40ms;
-  net::LinkCondition slow;
-  slow.rtt = 240ms;
-  cfg.links = net::ConditionSchedule::constant(fast);
+  cfg.links = constant_link(40ms);
   Cluster c(std::move(cfg));
   // Make one path slow before traffic flows.
-  c.network().set_path_schedule(0, 2, net::ConditionSchedule::constant(slow));
-  c.network().set_path_schedule(1, 2, net::ConditionSchedule::constant(slow));
+  c.network().set_path_schedule(0, 2, constant_link(240ms));
+  c.network().set_path_schedule(1, 2, constant_link(240ms));
   ASSERT_TRUE(c.await_leader(30s));
   c.sim().run_for(10s);
   const NodeId leader = c.current_leader();
@@ -65,14 +58,10 @@ TEST(DynatuneIntegration, LeaderMeasuresPerPathRtt) {
 
 TEST(DynatuneIntegration, PerFollowerHeartbeatIntervalsDiffer) {
   cluster::ClusterConfig cfg = cluster::make_dynatune_config(3, 3);
-  net::LinkCondition fast;
-  fast.rtt = 40ms;
-  net::LinkCondition slow;
-  slow.rtt = 240ms;
-  cfg.links = net::ConditionSchedule::constant(fast);
+  cfg.links = constant_link(40ms);
   Cluster c(std::move(cfg));
-  c.network().set_path_schedule(0, 2, net::ConditionSchedule::constant(slow));
-  c.network().set_path_schedule(1, 2, net::ConditionSchedule::constant(slow));
+  c.network().set_path_schedule(0, 2, constant_link(240ms));
+  c.network().set_path_schedule(1, 2, constant_link(240ms));
   ASSERT_TRUE(c.await_leader(30s));
   c.sim().run_for(15s);
   const NodeId leader = c.current_leader();
@@ -135,9 +124,7 @@ TEST(DynatuneIntegration, DetectionFasterThanBaselineRaft) {
   auto run = [](bool dynatune) {
     cluster::ClusterConfig cfg = dynatune ? cluster::make_dynatune_config(5, 6)
                                           : cluster::make_raft_config(5, 6);
-    net::LinkCondition link;
-    link.rtt = 100ms;
-    cfg.links = net::ConditionSchedule::constant(link);
+    cfg.links = constant_link(100ms);
     Cluster c(std::move(cfg));
     cluster::FailoverOptions opt;
     opt.kills = 10;
@@ -162,10 +149,8 @@ TEST(DynatuneIntegration, DetectionFasterThanBaselineRaft) {
 
 TEST(DynatuneIntegration, HeartbeatsUseDatagramChannel) {
   cluster::ClusterConfig cfg = cluster::make_dynatune_config(3, 7);
-  net::LinkCondition link;
-  link.rtt = 50ms;
-  link.loss = 0.3;  // datagram heartbeats must actually experience loss
-  cfg.links = net::ConditionSchedule::constant(link);
+  // Datagram heartbeats must actually experience loss.
+  cfg.links = constant_link(50ms, {}, 0.3);
   Cluster c(std::move(cfg));
   ASSERT_TRUE(c.await_leader(60s));
   c.sim().run_for(20s);

@@ -87,6 +87,62 @@ TEST(Policy, FixedKOverridesLossTuning) {
   EXPECT_NEAR(to_ms(*p.tuned_heartbeat()), 10.0, 0.5);  // Et/10 regardless of p=0
 }
 
+TEST(Policy, OneSampleShortOfMinListSizeKeepsDefaults) {
+  // Step 0 boundary: min_list_size - 1 samples is still warm-up — every
+  // parameter stays at its conservative default and nothing is tuned.
+  DynatunePolicy p(test_config());
+  const std::size_t n = p.config().min_list_size;
+  for (std::uint64_t i = 1; i < n; ++i) p.on_heartbeat_meta(0, meta(i, 100ms), kSimEpoch);
+  EXPECT_EQ(p.rtt().count(), n - 1);
+  EXPECT_FALSE(p.warmed_up());
+  EXPECT_FALSE(p.tuned_election_timeout().has_value());
+  EXPECT_FALSE(p.tuned_heartbeat().has_value());
+  EXPECT_EQ(p.election_timeout(), p.config().default_election_timeout);
+  EXPECT_EQ(p.heartbeat_interval(0), p.config().default_heartbeat);
+  // The very next sample crosses the threshold and tuning kicks in.
+  p.on_heartbeat_meta(0, meta(n, 100ms), kSimEpoch);
+  EXPECT_TRUE(p.warmed_up());
+  EXPECT_TRUE(p.tuned_election_timeout().has_value());
+}
+
+TEST(Policy, ExpiryDiscardsPartialWarmupState) {
+  // An election-timer expiry during warm-up throws away the partial
+  // measurement lists: progress toward min_list_size never survives a
+  // timeout, so tuning restarts from zero samples.
+  DynatunePolicy p(test_config());
+  std::uint64_t id = 0;
+  for (int i = 0; i < 3; ++i) p.on_heartbeat_meta(0, meta(++id, 100ms), kSimEpoch);
+  ASSERT_EQ(p.rtt().count(), 3u);
+  p.on_election_timeout();
+  EXPECT_EQ(p.rtt().count(), 0u);
+  EXPECT_EQ(p.loss().count(), 0u);
+  EXPECT_EQ(p.election_timeout(), p.config().default_election_timeout);
+  // Partial re-warm, then another expiry: discarded again, still untuned.
+  for (int i = 0; i < 2; ++i) p.on_heartbeat_meta(0, meta(++id, 100ms), kSimEpoch);
+  p.on_election_timeout();
+  EXPECT_EQ(p.rtt().count(), 0u);
+  EXPECT_EQ(p.loss().count(), 0u);
+  EXPECT_FALSE(p.warmed_up());
+  EXPECT_FALSE(p.tuned_election_timeout().has_value());
+}
+
+TEST(Policy, ConsecutiveExpiriesKeepMeasurementStateEmpty) {
+  // Back-to-back expiries with no heartbeats in between (a dead leader
+  // during a contested election) must be safe and leave nothing behind.
+  DynatunePolicy p(test_config());
+  for (std::uint64_t i = 1; i <= 5; ++i) p.on_heartbeat_meta(0, meta(i, 100ms), kSimEpoch);
+  ASSERT_TRUE(p.warmed_up());
+  for (int round = 0; round < 5; ++round) {
+    p.on_election_timeout();
+    EXPECT_EQ(p.rtt().count(), 0u) << "round " << round;
+    EXPECT_EQ(p.loss().count(), 0u) << "round " << round;
+    EXPECT_FALSE(p.warmed_up()) << "round " << round;
+  }
+  // Well past fallback_after_rounds: defaults are back in force.
+  EXPECT_EQ(p.election_timeout(), p.config().default_election_timeout);
+  EXPECT_EQ(p.heartbeat_interval(0), p.config().default_heartbeat);
+}
+
 TEST(Policy, ElectionTimeoutDiscardsDataButKeepsTunedEt) {
   DynatunePolicy p(test_config());
   for (std::uint64_t i = 1; i <= 5; ++i) p.on_heartbeat_meta(0, meta(i, 100ms), kSimEpoch);

@@ -102,7 +102,9 @@ TEST(Probe, LeaderAndTimeoutQueries) {
   EXPECT_EQ(first->leader, c.current_leader());
   // Exclusion filter skips the given node.
   const auto excluded = c.probe().first_leader_after(kSimEpoch, first->leader);
-  if (excluded) EXPECT_NE(excluded->leader, first->leader);
+  if (excluded) {
+    EXPECT_NE(excluded->leader, first->leader);
+  }
 }
 
 TEST(Probe, ElectionCountsInWindow) {

@@ -3,29 +3,16 @@
 #include <any>
 #include <vector>
 
-#include "common/rng.hpp"
 #include "net/condition.hpp"
 #include "net/network.hpp"
-#include "sim/simulator.hpp"
+#include "test_support.hpp"
 
 namespace dyna::net {
 namespace {
 
 using namespace std::chrono_literals;
 
-struct Harness {
-  sim::Simulator sim;
-  Network net{sim, Rng(42)};
-  std::vector<std::pair<NodeId, int>> received;  // (receiver, payload)
-
-  NodeId add_receiver() {
-    const NodeId id = net.add_node(nullptr);
-    net.set_handler(id, [this, id](NodeId /*from*/, const std::any& p) {
-      received.emplace_back(id, std::any_cast<int>(p));
-    });
-    return id;
-  }
-};
+using Harness = testutil::NetHarness;
 
 TEST(Network, DeliversDatagram) {
   Harness h;

@@ -4,28 +4,15 @@
 #include <any>
 #include <vector>
 
-#include "common/rng.hpp"
 #include "net/network.hpp"
-#include "sim/simulator.hpp"
+#include "test_support.hpp"
 
 namespace dyna::net {
 namespace {
 
 using namespace std::chrono_literals;
 
-struct Harness {
-  explicit Harness(Network::Config cfg = {}) : net(sim, Rng(7), cfg) {}
-
-  sim::Simulator sim;
-  Network net;
-  std::vector<int> received;
-
-  NodeId add_receiver() {
-    return net.add_node([this](NodeId, const std::any& p) {
-      received.push_back(std::any_cast<int>(p));
-    });
-  }
-};
+using Harness = testutil::NetHarness;
 
 TEST(Pause, DatagramsDroppedWhilePaused) {
   Harness h;
@@ -51,7 +38,7 @@ TEST(Pause, ReliableParkedAndFlushedOnResume) {
   EXPECT_TRUE(h.received.empty());
   h.net.set_paused(b, false);
   h.sim.run_all();
-  EXPECT_EQ(h.received, (std::vector<int>{0, 1, 2, 3, 4}));  // order preserved
+  EXPECT_EQ(h.payloads(), (std::vector<int>{0, 1, 2, 3, 4}));  // order preserved
 }
 
 TEST(Pause, MessagesSentBeforePauseStillArriveAfterResume) {
@@ -67,7 +54,7 @@ TEST(Pause, MessagesSentBeforePauseStillArriveAfterResume) {
   EXPECT_TRUE(h.received.empty());
   h.net.set_paused(b, false);
   h.sim.run_all();
-  EXPECT_EQ(h.received, std::vector<int>{9});
+  EXPECT_EQ(h.payloads(), std::vector<int>{9});
 }
 
 TEST(Partition, BlockedLinkDropsSilently) {
@@ -82,7 +69,7 @@ TEST(Partition, BlockedLinkDropsSilently) {
   h.net.set_blocked(a, b, false);
   h.net.send(a, b, std::any(3), Transport::Reliable);
   h.sim.run_all();
-  EXPECT_EQ(h.received, std::vector<int>{3});
+  EXPECT_EQ(h.payloads(), std::vector<int>{3});
 }
 
 TEST(Partition, IsolateCutsBothDirections) {
@@ -95,11 +82,11 @@ TEST(Partition, IsolateCutsBothDirections) {
   h.net.send(b, a, std::any(2), Transport::Datagram);
   h.net.send(a, c, std::any(3), Transport::Datagram);
   h.sim.run_all();
-  EXPECT_EQ(h.received, std::vector<int>{3});  // only a->c got through
+  EXPECT_EQ(h.payloads(), std::vector<int>{3});  // only a->c got through
   h.net.isolate(b, false);
   h.net.send(a, b, std::any(4), Transport::Datagram);
   h.sim.run_all();
-  EXPECT_EQ(h.received, (std::vector<int>{3, 4}));
+  EXPECT_EQ(h.payloads(), (std::vector<int>{3, 4}));
 }
 
 TEST(Stalls, DisabledByDefault) {
@@ -189,12 +176,12 @@ TEST(Turbulence, RttJumpStallsActiveReliableStream) {
   h.sim.run_until(kSimEpoch + 1700ms);
   std::size_t reliable_during_turbulence = 0;
   for (std::size_t i = before; i < h.received.size(); ++i) {
-    if (h.received[i] >= 1000) ++reliable_during_turbulence;
+    if (h.received[i].second >= 1000) ++reliable_during_turbulence;
   }
   EXPECT_EQ(reliable_during_turbulence, 0u);
   h.sim.run_until(kSimEpoch + 5s);
   int reliable_total = 0;
-  for (int v : h.received) {
+  for (int v : h.payloads()) {
     if (v >= 1000) ++reliable_total;
   }
   EXPECT_EQ(reliable_total, 20);  // reliable means reliable: all arrive eventually

@@ -3,109 +3,96 @@
 
 #include "cluster/cluster.hpp"
 #include "cluster/experiment.hpp"
+#include "test_support.hpp"
 
 namespace dyna {
 namespace {
 
 using namespace std::chrono_literals;
 using cluster::Cluster;
-
-std::size_t count_leaders(Cluster& c) {
-  std::size_t n = 0;
-  for (const NodeId id : c.server_ids()) {
-    if (auto* node = c.node_if_alive(id); node != nullptr && node->is_leader()) ++n;
-  }
-  return n;
-}
+using testutil::count_leaders;
+using testutil::start_cluster;
 
 TEST(Election, FiveNodesElectExactlyOneLeader) {
-  Cluster c(cluster::make_raft_config(5, 1));
-  ASSERT_TRUE(c.await_leader(30s));
-  c.sim().run_for(2s);
-  EXPECT_EQ(count_leaders(c), 1u);
+  auto c = start_cluster(cluster::make_raft_config(5, 1));
+  c->sim().run_for(2s);
+  EXPECT_EQ(count_leaders(*c), 1u);
 }
 
 TEST(Election, ThreeNodeClusterWorks) {
-  Cluster c(cluster::make_raft_config(3, 2));
-  ASSERT_TRUE(c.await_leader(30s));
-  EXPECT_EQ(count_leaders(c), 1u);
+  auto c = start_cluster(cluster::make_raft_config(3, 2));
+  EXPECT_EQ(count_leaders(*c), 1u);
 }
 
 TEST(Election, SingleNodeClusterSelfElects) {
-  Cluster c(cluster::make_raft_config(1, 3));
-  ASSERT_TRUE(c.await_leader(30s));
-  EXPECT_TRUE(c.node(0).is_leader());
+  auto c = start_cluster(cluster::make_raft_config(1, 3));
+  EXPECT_TRUE(c->node(0).is_leader());
 }
 
 TEST(Election, AllNodesLearnTheLeader) {
-  Cluster c(cluster::make_raft_config(5, 4));
-  ASSERT_TRUE(c.await_leader(30s));
-  c.sim().run_for(2s);
-  const NodeId leader = c.current_leader();
-  for (const NodeId id : c.server_ids()) {
-    EXPECT_EQ(c.node(id).leader_hint(), leader) << "node " << id;
+  auto c = start_cluster(cluster::make_raft_config(5, 4));
+  c->sim().run_for(2s);
+  const NodeId leader = c->current_leader();
+  for (const NodeId id : c->server_ids()) {
+    EXPECT_EQ(c->node(id).leader_hint(), leader) << "node " << id;
   }
 }
 
 TEST(Election, LeaderPauseTriggersFailover) {
-  Cluster c(cluster::make_raft_config(5, 5));
-  ASSERT_TRUE(c.await_leader(30s));
-  const NodeId old_leader = c.current_leader();
-  const raft::Term old_term = c.node(old_leader).term();
-  c.pause(old_leader);
-  const TimePoint t_kill = c.sim().now();
-  c.sim().run_for(10s);
-  const NodeId new_leader = c.current_leader();
+  auto c = start_cluster(cluster::make_raft_config(5, 5));
+  const NodeId old_leader = c->current_leader();
+  const raft::Term old_term = c->node(old_leader).term();
+  c->pause(old_leader);
+  const TimePoint t_kill = c->sim().now();
+  c->sim().run_for(10s);
+  const NodeId new_leader = c->current_leader();
   ASSERT_NE(new_leader, kNoNode);
   EXPECT_NE(new_leader, old_leader);
-  EXPECT_GT(c.node(new_leader).term(), old_term);
-  EXPECT_TRUE(c.probe().first_timeout_after(t_kill).has_value());
+  EXPECT_GT(c->node(new_leader).term(), old_term);
+  EXPECT_TRUE(c->probe().first_timeout_after(t_kill).has_value());
 }
 
 TEST(Election, ResumedOldLeaderStepsDown) {
-  Cluster c(cluster::make_raft_config(5, 6));
-  ASSERT_TRUE(c.await_leader(30s));
-  const NodeId old_leader = c.current_leader();
-  c.pause(old_leader);
-  c.sim().run_for(10s);
-  ASSERT_NE(c.current_leader(), kNoNode);
-  c.resume(old_leader);
-  c.sim().run_for(5s);
-  EXPECT_FALSE(c.node(old_leader).role() == raft::Role::Leader);
-  EXPECT_EQ(count_leaders(c), 1u);
+  auto c = start_cluster(cluster::make_raft_config(5, 6));
+  const NodeId old_leader = c->current_leader();
+  c->pause(old_leader);
+  c->sim().run_for(10s);
+  ASSERT_NE(c->current_leader(), kNoNode);
+  c->resume(old_leader);
+  c->sim().run_for(5s);
+  EXPECT_FALSE(c->node(old_leader).role() == raft::Role::Leader);
+  EXPECT_EQ(count_leaders(*c), 1u);
 }
 
 TEST(Election, PreVotePreventsIsolatedNodeDisruption) {
   // Classic pre-vote property: an isolated follower keeps timing out but
   // must not inflate its term, so on heal it rejoins without deposing the
   // leader.
-  Cluster c(cluster::make_raft_config(5, 7));
-  ASSERT_TRUE(c.await_leader(30s));
-  const NodeId leader = c.current_leader();
-  const raft::Term stable_term = c.node(leader).term();
+  auto c = start_cluster(cluster::make_raft_config(5, 7));
+  const NodeId leader = c->current_leader();
+  const raft::Term stable_term = c->node(leader).term();
   NodeId victim = kNoNode;
-  for (const NodeId id : c.server_ids()) {
+  for (const NodeId id : c->server_ids()) {
     if (id != leader) {
       victim = id;
       break;
     }
   }
-  c.network().isolate(victim, true);
-  c.sim().run_for(30s);  // many election timeouts on the victim
-  EXPECT_EQ(c.node(victim).term(), stable_term);  // pre-vote never bumped it
-  c.network().isolate(victim, false);
-  c.sim().run_for(5s);
-  EXPECT_EQ(c.current_leader(), leader) << "leader must survive the heal";
-  EXPECT_EQ(c.node(leader).term(), stable_term);
-  EXPECT_EQ(c.node(victim).leader_hint(), leader);
+  c->network().isolate(victim, true);
+  c->sim().run_for(30s);  // many election timeouts on the victim
+  EXPECT_EQ(c->node(victim).term(), stable_term);  // pre-vote never bumped it
+  c->network().isolate(victim, false);
+  c->sim().run_for(5s);
+  EXPECT_EQ(c->current_leader(), leader) << "leader must survive the heal";
+  EXPECT_EQ(c->node(leader).term(), stable_term);
+  EXPECT_EQ(c->node(victim).leader_hint(), leader);
 }
 
 TEST(Election, RandomizedTimeoutWithinEtTo2Et) {
-  Cluster c(cluster::make_raft_config(5, 8));
-  ASSERT_TRUE(c.await_leader(30s));
-  const Duration et = c.config().raft.election_timeout;
-  for (const NodeId id : c.server_ids()) {
-    const Duration r = c.node(id).randomized_timeout();
+  auto c = start_cluster(cluster::make_raft_config(5, 8));
+  const Duration et = c->config().raft.election_timeout;
+  for (const NodeId id : c->server_ids()) {
+    const Duration r = c->node(id).randomized_timeout();
     EXPECT_GE(r, et);
     EXPECT_LT(r, 2 * et);
   }
@@ -114,10 +101,9 @@ TEST(Election, RandomizedTimeoutWithinEtTo2Et) {
 TEST(Election, TickGranularityQuantizesTimeouts) {
   cluster::ClusterConfig cfg = cluster::make_raft_config(5, 9);
   cfg.raft.tick = 100ms;
-  Cluster c(std::move(cfg));
-  ASSERT_TRUE(c.await_leader(30s));
-  for (const NodeId id : c.server_ids()) {
-    const auto ns = c.node(id).randomized_timeout().count();
+  auto c = start_cluster(std::move(cfg));
+  for (const NodeId id : c->server_ids()) {
+    const auto ns = c->node(id).randomized_timeout().count();
     EXPECT_EQ(ns % Duration(100ms).count(), 0) << "node " << id << " not tick-aligned";
   }
 }
@@ -136,31 +122,30 @@ TEST(Election, EventuallyReelectsAfterRepeatedKills) {
 }
 
 TEST(Election, MinorityCannotElect) {
-  Cluster c(cluster::make_raft_config(5, 11));
-  ASSERT_TRUE(c.await_leader(30s));
-  const NodeId leader = c.current_leader();
+  auto c = start_cluster(cluster::make_raft_config(5, 11));
+  const NodeId leader = c->current_leader();
   // Cut the leader plus one follower off: the pair is a minority.
   NodeId buddy = kNoNode;
-  for (const NodeId id : c.server_ids()) {
+  for (const NodeId id : c->server_ids()) {
     if (id != leader) {
       buddy = id;
       break;
     }
   }
   for (const NodeId a : {leader, buddy}) {
-    for (const NodeId b : c.server_ids()) {
+    for (const NodeId b : c->server_ids()) {
       if (b == leader || b == buddy) continue;
-      c.network().set_blocked(a, b, true);
-      c.network().set_blocked(b, a, true);
+      c->network().set_blocked(a, b, true);
+      c->network().set_blocked(b, a, true);
     }
   }
-  c.sim().run_for(15s);
+  c->sim().run_for(15s);
   // Majority side elected a fresh leader; minority side has none at max term.
   raft::Term max_term = 0;
-  for (const NodeId id : c.server_ids()) max_term = std::max(max_term, c.node(id).term());
+  for (const NodeId id : c->server_ids()) max_term = std::max(max_term, c->node(id).term());
   NodeId majority_leader = kNoNode;
-  for (const NodeId id : c.server_ids()) {
-    if (c.node(id).is_leader() && c.node(id).term() == max_term) majority_leader = id;
+  for (const NodeId id : c->server_ids()) {
+    if (c->node(id).is_leader() && c->node(id).term() == max_term) majority_leader = id;
   }
   ASSERT_NE(majority_leader, kNoNode);
   EXPECT_NE(majority_leader, leader);
@@ -176,14 +161,13 @@ TEST_P(ElectionSeedSweep, LeaderEmergesAndFailoverWorks) {
   cluster::ClusterConfig cfg = variant == "dynatune" ? cluster::make_dynatune_config(5, seed)
                                : variant == "low"    ? cluster::make_raft_low_config(5, seed)
                                                      : cluster::make_raft_config(5, seed);
-  Cluster c(std::move(cfg));
-  ASSERT_TRUE(c.await_leader(60s));
-  const NodeId first = c.current_leader();
-  c.sim().run_for(8s);
-  c.pause(first);
-  c.sim().run_for(30s);
-  EXPECT_NE(c.current_leader(), kNoNode);
-  EXPECT_NE(c.current_leader(), first);
+  auto c = start_cluster(std::move(cfg), 60s);
+  const NodeId first = c->current_leader();
+  c->sim().run_for(8s);
+  c->pause(first);
+  c->sim().run_for(30s);
+  EXPECT_NE(c->current_leader(), kNoNode);
+  EXPECT_NE(c->current_leader(), first);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,100 @@
+// Shared fixtures and builders for the gtest suites.
+//
+// Suites stay independent binaries; everything here is header-only and
+// deterministic. Three building blocks cover most setup boilerplate:
+//   * test_rng       — the canonical seeded Rng,
+//   * NetHarness     — bare Simulator + Network + receive recorder,
+//   * start_cluster  — variant factory config -> running cluster with a leader.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <any>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "dynatune/policy.hpp"
+#include "net/condition.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace dyna::testutil {
+
+using namespace std::chrono_literals;
+
+/// Canonical deterministic RNG for tests that just need seeded randomness.
+[[nodiscard]] inline Rng test_rng(std::uint64_t seed = 42) { return Rng(seed); }
+
+/// Bare-metal network harness: one Simulator, one Network, and a recorder of
+/// everything delivered. Payloads are ints wrapped in std::any, mirroring how
+/// the unit suites exercise the transport.
+struct NetHarness {
+  explicit NetHarness(net::Network::Config cfg = {}, std::uint64_t seed = 42)
+      : net(sim, Rng(seed), cfg) {}
+
+  sim::Simulator sim;
+  net::Network net;
+  std::vector<std::pair<NodeId, int>> received;  ///< (receiver, payload)
+
+  /// Add a node whose deliveries are appended to `received`.
+  NodeId add_receiver() {
+    const NodeId id = net.add_node(nullptr);
+    net.set_handler(id, [this, id](NodeId /*from*/, const std::any& p) {
+      received.emplace_back(id, std::any_cast<int>(p));
+    });
+    return id;
+  }
+
+  /// Just the delivered payloads, in delivery order (all receivers merged).
+  [[nodiscard]] std::vector<int> payloads() const {
+    std::vector<int> out;
+    out.reserve(received.size());
+    for (const auto& [node, value] : received) out.push_back(value);
+    return out;
+  }
+};
+
+/// A constant-rate link schedule — the single most common network shape in
+/// the suites.
+[[nodiscard]] inline net::ConditionSchedule constant_link(Duration rtt, Duration jitter = {},
+                                                          double loss = 0.0) {
+  net::LinkCondition link;
+  link.rtt = rtt;
+  link.jitter = jitter;
+  link.loss = loss;
+  return net::ConditionSchedule::constant(link);
+}
+
+/// Build the cluster and drive the simulation until a leader exists. A missing
+/// leader throws, which gtest reports as that one test failing — callers would
+/// otherwise feed kNoNode into Cluster::node() and abort the whole binary.
+[[nodiscard]] inline std::unique_ptr<cluster::Cluster> start_cluster(
+    cluster::ClusterConfig cfg, Duration await_timeout = 30s) {
+  auto c = std::make_unique<cluster::Cluster>(std::move(cfg));
+  if (!c->await_leader(await_timeout)) {
+    throw std::runtime_error("start_cluster: no leader elected within " +
+                             std::to_string(to_ms(await_timeout)) + " ms");
+  }
+  return c;
+}
+
+/// Number of live nodes currently believing they are leader.
+[[nodiscard]] inline std::size_t count_leaders(cluster::Cluster& c) {
+  std::size_t n = 0;
+  for (const NodeId id : c.server_ids()) {
+    if (auto* node = c.node_if_alive(id); node != nullptr && node->is_leader()) ++n;
+  }
+  return n;
+}
+
+/// The DynatunePolicy installed on `id` (only valid on Dynatune/Fix-K variants).
+[[nodiscard]] inline dt::DynatunePolicy& policy_of(cluster::Cluster& c, NodeId id) {
+  return dynamic_cast<dt::DynatunePolicy&>(c.node(id).policy());
+}
+
+}  // namespace dyna::testutil
