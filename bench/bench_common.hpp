@@ -8,6 +8,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/experiment.hpp"
 #include "common/cli.hpp"
+#include "common/csv.hpp"
 #include "common/stats.hpp"
 #include "metrics/cdf.hpp"
 #include "metrics/report.hpp"
@@ -76,6 +77,26 @@ struct FailoverStats {
     if (s.ok) v.push_back(s.ots_ms);
   }
   return v;
+}
+
+/// Append one variant's failover samples to an open CSV (the committed
+/// copies live in bench/reference/; CI uploads fresh runs as artifacts so
+/// paper-metric regressions stay diffable).
+inline void append_failover_csv(CsvWriter& csv, const std::string& variant,
+                                const std::vector<cluster::FailoverSample>& samples) {
+  std::size_t kill = 0;
+  for (const auto& s : samples) {
+    csv.row({variant, CsvWriter::cell(static_cast<double>(kill++)),
+             CsvWriter::cell(s.detection_ms), CsvWriter::cell(s.ots_ms),
+             CsvWriter::cell(s.election_ms), CsvWriter::cell(s.mean_randomized_ms),
+             s.ok ? "1" : "0"});
+  }
+}
+
+/// Column set matching append_failover_csv.
+[[nodiscard]] inline std::vector<std::string> failover_csv_header() {
+  return {"variant", "kill", "detection_ms", "ots_ms", "election_ms", "mean_randomized_ms",
+          "ok"};
 }
 
 /// Print a compact CDF (the paper's Fig 4/8 presentation) to stdout.

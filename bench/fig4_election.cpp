@@ -103,5 +103,13 @@ int main(int argc, char** argv) {
     std::printf("warning: %zu trials failed to elect within the horizon\n",
                 r.failed_trials + d.failed_trials);
   }
+
+  // --csv=FILE dumps the raw per-kill series for offline plotting / diffing.
+  if (const auto csv_path = cli.get("csv")) {
+    CsvWriter csv(*csv_path, failover_csv_header());
+    append_failover_csv(csv, "raft", raft);
+    append_failover_csv(csv, "dynatune", dyna_samples);
+    std::printf("wrote %s\n", csv_path->c_str());
+  }
   return 0;
 }

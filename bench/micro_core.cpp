@@ -83,22 +83,110 @@ void BM_EventQueueDeepSchedule(benchmark::State& state) {
     sim.cancel(id);
   }
 }
-BENCHMARK(BM_EventQueueDeepSchedule)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_EventQueueDeepSchedule)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_EventChurnSchedCancel(benchmark::State& state) {
+  // Timer re-arm churn against a deep backlog (1e6 pending at Arg(1000000)):
+  // schedule two deadlines, cancel the near one, fire the far one — the
+  // pattern Raft nodes execute on every heartbeat. The step() at the end
+  // also drains the cancelled entry, so the queue is at steady state across
+  // iterations. The backlog sits ~11 simulated years out: the timed loop
+  // advances the clock 20 ms per iteration and must never reach it.
+  sim::Simulator sim;
+  for (int i = 0; i < state.range(0); ++i) {
+    sim.schedule_after(std::chrono::hours(100000) + std::chrono::milliseconds(i), [] {});
+  }
+  std::uint64_t cancelled = 0;
+  for (auto _ : state) {
+    const auto a = sim.schedule_after(10ms, [] {});
+    sim.schedule_after(20ms, [] {});
+    cancelled += sim.cancel(a) ? 1 : 0;
+    sim.step();
+  }
+  benchmark::DoNotOptimize(cancelled);
+}
+BENCHMARK(BM_EventChurnSchedCancel)->Arg(1000000);
+
+void BM_EventChurnSchedStep(benchmark::State& state) {
+  // schedule+fire churn against a deep backlog: every iteration schedules a
+  // near event and steps it to completion while 1e6 far events sit below
+  // (far enough — ~11 simulated years — that the loop can never reach them).
+  sim::Simulator sim;
+  for (int i = 0; i < state.range(0); ++i) {
+    sim.schedule_after(std::chrono::hours(100000) + std::chrono::milliseconds(i), [] {});
+  }
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    sim.schedule_after(1ms, [&fired] { ++fired; });
+    sim.step();
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventChurnSchedStep)->Arg(1000000);
 
 void BM_NetworkSendDeliver(benchmark::State& state) {
   sim::Simulator sim;
   net::Network net(sim, Rng(7));
   std::uint64_t delivered = 0;
   const NodeId a = net.add_node();
-  const NodeId b = net.add_node([&delivered](NodeId, const std::any&) { ++delivered; });
+  const NodeId b = net.add_node([&delivered](NodeId, const net::Message&) { ++delivered; });
   (void)a;
   for (auto _ : state) {
-    net.send(0, b, std::any(std::uint64_t{42}), net::Transport::Datagram, 64);
+    net.send(0, b, net::TestPayload{42}, net::Transport::Datagram, 64);
     sim.run_all();
   }
   benchmark::DoNotOptimize(delivered);
 }
 BENCHMARK(BM_NetworkSendDeliver);
+
+void BM_NetworkSendDatagram(benchmark::State& state) {
+  // Pure send+deliver cost on the lossy path, batched so the event queue sees
+  // realistic in-flight depth (64 messages across a 5-node full mesh).
+  sim::Simulator sim;
+  net::Network net(sim, Rng(7));
+  std::uint64_t delivered = 0;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 5; ++i) {
+    nodes.push_back(net.add_node([&delivered](NodeId, const net::Message&) { ++delivered; }));
+  }
+  for (auto _ : state) {
+    for (int k = 0; k < 64; ++k) {
+      const NodeId from = nodes[static_cast<std::size_t>(k) % nodes.size()];
+      const NodeId to = nodes[static_cast<std::size_t>(k + 1) % nodes.size()];
+      net.send(from, to, net::TestPayload{42}, net::Transport::Datagram, 64);
+    }
+    sim.run_all();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_NetworkSendDatagram);
+
+void BM_NetworkSendReliable(benchmark::State& state) {
+  // Reliable path: FIFO enforcement + retransmit model + turbulence tracking.
+  sim::Simulator sim;
+  net::Network net(sim, Rng(7));
+  std::uint64_t delivered = 0;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 5; ++i) {
+    nodes.push_back(net.add_node([&delivered](NodeId, const net::Message&) { ++delivered; }));
+  }
+  net::LinkCondition cond;
+  cond.rtt = 10ms;
+  cond.loss = 0.01;
+  net.set_default_schedule(net::ConditionSchedule::constant(cond));
+  for (auto _ : state) {
+    for (int k = 0; k < 64; ++k) {
+      const NodeId from = nodes[static_cast<std::size_t>(k) % nodes.size()];
+      const NodeId to = nodes[static_cast<std::size_t>(k + 1) % nodes.size()];
+      net.send(from, to, net::TestPayload{42}, net::Transport::Reliable, 256);
+    }
+    sim.run_all();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_NetworkSendReliable);
 
 void BM_ClusterHeartbeatSecond(benchmark::State& state) {
   // One simulated second of idle 5-server cluster traffic (heartbeats,

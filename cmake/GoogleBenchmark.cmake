@@ -1,0 +1,43 @@
+# Resolve Google Benchmark for bench/micro_core, in order of preference:
+#
+#  1. A system-installed library (libbenchmark-dev) — the offline-friendly
+#     default.
+#  2. FetchContent from the upstream release (needs network); enable with
+#     -DDYNATUNE_FETCH_BENCHMARK=ON. CI uses this so micro_core is built and
+#     smoke-run even on bare runners instead of being silently skipped.
+#
+# Afterwards `dynatune_benchmark_FOUND` says whether benchmark::benchmark
+# exists to link against.
+
+option(DYNATUNE_FETCH_BENCHMARK
+  "Download Google Benchmark with FetchContent instead of using a system copy" OFF)
+
+set(dynatune_benchmark_FOUND FALSE)
+
+if(NOT DYNATUNE_FETCH_BENCHMARK)
+  find_package(benchmark QUIET)
+  if(benchmark_FOUND)
+    set(dynatune_benchmark_FOUND TRUE)
+    message(STATUS "dynatune: using system Google Benchmark")
+  endif()
+endif()
+
+if(NOT dynatune_benchmark_FOUND AND DYNATUNE_FETCH_BENCHMARK)
+  message(STATUS "dynatune: fetching Google Benchmark v1.8.4 with FetchContent")
+  include(FetchContent)
+  set(BENCHMARK_ENABLE_TESTING OFF CACHE BOOL "" FORCE)
+  set(BENCHMARK_ENABLE_INSTALL OFF CACHE BOOL "" FORCE)
+  set(BENCHMARK_INSTALL_DOCS OFF CACHE BOOL "" FORCE)
+  set(BENCHMARK_ENABLE_WERROR OFF CACHE BOOL "" FORCE)
+  FetchContent_Declare(googlebenchmark
+    GIT_REPOSITORY https://github.com/google/benchmark.git
+    GIT_TAG v1.8.4
+    GIT_SHALLOW TRUE)
+  FetchContent_MakeAvailable(googlebenchmark)
+  set(dynatune_benchmark_FOUND TRUE)
+endif()
+
+if(NOT dynatune_benchmark_FOUND)
+  message(STATUS "dynatune: Google Benchmark not found, micro_core will be skipped "
+                 "(install libbenchmark-dev or configure with -DDYNATUNE_FETCH_BENCHMARK=ON)")
+endif()

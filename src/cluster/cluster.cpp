@@ -74,10 +74,10 @@ void Cluster::build_node(NodeId id) {
   for (raft::Observer* o : cfg_.observers) node->add_observer(o);
   nodes_[idx] = std::move(node);
 
-  net_->set_handler(id, [this, id, idx](NodeId from, const std::any& payload) {
+  net_->set_handler(id, [this, id, idx](NodeId from, const net::Message& payload) {
     raft::RaftNode* n = nodes_[idx].get();
     if (n == nullptr || !n->running()) return;
-    const auto* msg = std::any_cast<raft::Message>(&payload);
+    const raft::Message* msg = payload.raft();
     if (msg == nullptr) return;
     if (cfg_.request_service_time > Duration{0} &&
         std::holds_alternative<raft::ClientRequest>(*msg)) {

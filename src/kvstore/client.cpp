@@ -13,7 +13,7 @@ KvClient::KvClient(sim::Simulator& simulator, net::Network& network, std::vector
       rng_(std::move(rng)),
       config_(config) {
   DYNA_EXPECTS(!servers_.empty());
-  endpoint_ = net_->add_node([this](NodeId from, const std::any& payload) {
+  endpoint_ = net_->add_node([this](NodeId from, const net::Message& payload) {
     on_message(from, payload);
   });
   target_ = servers_[rng_.uniform_index(servers_.size())];
@@ -85,8 +85,8 @@ void KvClient::rotate_target() {
   target_ = servers_[idx];
 }
 
-void KvClient::on_message(NodeId /*from*/, const std::any& payload) {
-  const auto* msg = std::any_cast<raft::Message>(&payload);
+void KvClient::on_message(NodeId /*from*/, const net::Message& payload) {
+  const raft::Message* msg = payload.raft();
   if (msg == nullptr) return;
   const auto* resp = std::get_if<raft::ClientResponse>(msg);
   if (resp == nullptr) return;

@@ -78,7 +78,7 @@ class KvClient {
   };
 
   void send_attempt(std::uint64_t seq);
-  void on_message(NodeId from, const std::any& payload);
+  void on_message(NodeId from, const net::Message& payload);
   void complete(std::uint64_t seq, bool ok, std::string value);
   void rotate_target();
 

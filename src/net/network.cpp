@@ -42,7 +42,39 @@ void Network::roll_stall(StallWindow& w) {
   w.end = w.start + from_ms(dur_ms);
 }
 
-void Network::send(NodeId from, NodeId to, std::any payload, Transport transport,
+void Network::grow_links() {
+  const std::size_t n = nodes_.size();
+  const std::size_t old_n = n - 1;
+  std::vector<Link> grown(n * n);
+  for (std::size_t from = 0; from < old_n; ++from) {
+    for (std::size_t to = 0; to < old_n; ++to) {
+      grown[from * n + to] = std::move(links_[from * old_n + to]);
+    }
+  }
+  links_ = std::move(grown);
+}
+
+std::uint32_t Network::arena_acquire(Message payload) {
+  std::uint32_t slot;
+  if (!arena_free_.empty()) {
+    slot = arena_free_.back();
+    arena_free_.pop_back();
+    arena_[slot] = std::move(payload);
+  } else {
+    slot = static_cast<std::uint32_t>(arena_.size());
+    arena_.push_back(std::move(payload));
+  }
+  return slot;
+}
+
+Message Network::arena_release(std::uint32_t slot) {
+  Message out = std::move(arena_[slot]);
+  arena_[slot] = Message{};
+  arena_free_.push_back(slot);
+  return out;
+}
+
+void Network::send(NodeId from, NodeId to, Message payload, Transport transport,
                    std::size_t bytes) {
   DYNA_EXPECTS(valid(from) && valid(to));
   DYNA_EXPECTS(from != to);
@@ -51,9 +83,10 @@ void Network::send(NodeId from, NodeId to, std::any payload, Transport transport
   src.traffic.sent += 1;
   src.traffic.sent_bytes += bytes;
 
-  if (blocked_.contains({from, to})) return;  // partitioned: vanishes
+  Link& l = link(from, to);
+  if (l.blocked) return;  // partitioned: vanishes
 
-  const LinkCondition cond = condition(from, to);
+  const LinkCondition cond = schedule_for(l).at(sim_->now());
   Duration delay = sample_one_way_delay(cond);
   // A stalled sender's packet leaves when the stall ends; a stalled receiver
   // processes it when its own stall ends.
@@ -65,11 +98,14 @@ void Network::send(NodeId from, NodeId to, std::any payload, Transport transport
       state(to).traffic.lost += 1;
       return;
     }
-    schedule_delivery(from, to, payload, transport, bytes, delay);
-    if (rng_.bernoulli(cond.duplicate)) {
+    const bool duplicated = rng_.bernoulli(cond.duplicate);
+    if (duplicated) {
+      schedule_delivery(l, from, to, payload, transport, bytes, delay);
       // The duplicate takes an independent path through the network.
-      schedule_delivery(from, to, std::move(payload), transport, bytes,
+      schedule_delivery(l, from, to, std::move(payload), transport, bytes,
                         sample_one_way_delay(cond));
+    } else {
+      schedule_delivery(l, from, to, std::move(payload), transport, bytes, delay);
     }
     return;
   }
@@ -87,7 +123,7 @@ void Network::send(NodeId from, NodeId to, std::any payload, Transport transport
     // head of the in-order stream thrashes through retransmit backoff for a
     // few new-RTT periods. Everything sent inside the window is blocked
     // behind it and departs when the stream recovers.
-    StreamState& st = streams_[{from, to}];
+    StreamState& st = l.stream;
     const bool jumped = st.last_rtt > Duration{0} &&
                         to_ms(cond.rtt) > to_ms(st.last_rtt) * (1.0 + config_.turbulence_threshold);
     const Duration activity_window =
@@ -104,25 +140,30 @@ void Network::send(NodeId from, NodeId to, std::any payload, Transport transport
     }
   }
 
-  schedule_delivery(from, to, std::move(payload), transport, bytes, delay);
+  schedule_delivery(l, from, to, std::move(payload), transport, bytes, delay);
 }
 
-void Network::schedule_delivery(NodeId from, NodeId to, std::any payload, Transport transport,
-                                std::size_t bytes, Duration delay) {
+void Network::schedule_delivery(Link& l, NodeId from, NodeId to, Message payload,
+                                Transport transport, std::size_t bytes, Duration delay) {
   TimePoint when = sim_->now() + delay;
   if (transport == Transport::Reliable) {
     // Enforce FIFO per directed pair: a message never overtakes its
     // predecessor on the same stream.
-    TimePoint& last = reliable_last_delivery_[{from, to}];
+    TimePoint& last = l.reliable_last_delivery;
     when = std::max(when, last + Duration{1});
     last = when;
   }
-  sim_->schedule_at(when, [this, from, to, payload = std::move(payload), transport, bytes] {
-    deliver(from, to, payload, transport, bytes);
+  // The payload parks in the arena; the event closure is a few scalars and
+  // stays inside InlineFn's inline buffer — no allocation on this path.
+  const std::uint32_t slot = arena_acquire(std::move(payload));
+  const auto nbytes = static_cast<std::uint32_t>(bytes);
+  sim_->schedule_at(when, [this, from, to, slot, transport, nbytes] {
+    const Message msg = arena_release(slot);
+    deliver(from, to, msg, transport, nbytes);
   });
 }
 
-void Network::deliver(NodeId from, NodeId to, const std::any& payload, Transport transport,
+void Network::deliver(NodeId from, NodeId to, const Message& payload, Transport transport,
                       std::size_t bytes) {
   NodeState& dst = state(to);
   if (dst.paused) {
@@ -147,8 +188,10 @@ void Network::set_paused(NodeId node, bool paused) {
     auto parked = std::move(st.parked);
     st.parked.clear();
     for (auto& [from, payload] : parked) {
-      sim_->schedule_after(Duration{0}, [this, from, node, payload = std::move(payload)] {
-        deliver(from, node, payload, Transport::Reliable, 0);
+      const std::uint32_t slot = arena_acquire(std::move(payload));
+      sim_->schedule_after(Duration{0}, [this, from = from, node, slot] {
+        const Message msg = arena_release(slot);
+        deliver(from, node, msg, Transport::Reliable, 0);
       });
     }
   }

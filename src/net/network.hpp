@@ -14,14 +14,19 @@
 // Node pause ("container sleep", the paper's fault model): a paused node's
 // datagrams are dropped on delivery (UDP buffer overflow) while reliable
 // messages queue and flush on resume (kernel TCP buffering).
+//
+// Hot-path layout (see ARCHITECTURE.md): payloads are typed net::Message
+// values (no std::any, no RTTI), in-flight messages live in a recycled arena
+// so a delivery event is a sub-48-byte closure with no allocation, and all
+// per-directed-link state (schedule override, FIFO watermark, TCP turbulence,
+// partition flag) sits in one dense n*n table — one indexed load per send
+// where the seed engine did four red-black-tree lookups.
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
-#include <set>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -29,6 +34,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "net/condition.hpp"
+#include "net/message.hpp"
 #include "sim/simulator.hpp"
 
 namespace dyna::net {
@@ -39,7 +45,7 @@ enum class Transport : std::uint8_t {
 };
 
 /// Called on the destination node when a message arrives.
-using Handler = std::function<void(NodeId from, const std::any& payload)>;
+using Handler = std::function<void(NodeId from, const Message& payload)>;
 
 /// Per-node traffic counters (message accounting for CPU/bandwidth models).
 struct NodeTraffic {
@@ -107,6 +113,7 @@ class Network {
   NodeId add_node(Handler handler = nullptr) {
     nodes_.push_back(NodeState{});
     nodes_.back().handler = std::move(handler);
+    grow_links();
     return static_cast<NodeId>(nodes_.size() - 1);
   }
 
@@ -124,7 +131,8 @@ class Network {
   /// Directed-link override. Use both orders for a symmetric path.
   void set_link_schedule(NodeId from, NodeId to, ConditionSchedule schedule) {
     DYNA_EXPECTS(valid(from) && valid(to));
-    link_overrides_[{from, to}] = std::move(schedule);
+    link(from, to).override_schedule =
+        std::make_unique<ConditionSchedule>(std::move(schedule));
   }
 
   /// Symmetric convenience: applies to both directions.
@@ -134,14 +142,12 @@ class Network {
   }
 
   [[nodiscard]] const LinkCondition& condition(NodeId from, NodeId to) const {
-    const auto it = link_overrides_.find({from, to});
-    const ConditionSchedule& sched = it != link_overrides_.end() ? it->second : default_schedule_;
-    return sched.at(sim_->now());
+    return schedule_for(link(from, to)).at(sim_->now());
   }
 
   /// Send `payload` from `from` to `to`. `bytes` feeds traffic accounting
   /// only; delivery semantics depend on the transport class.
-  void send(NodeId from, NodeId to, std::any payload, Transport transport,
+  void send(NodeId from, NodeId to, Message payload, Transport transport,
             std::size_t bytes = 256);
 
   // ---- Fault injection -----------------------------------------------------
@@ -156,11 +162,7 @@ class Network {
   /// indistinguishable from an endless outage, which TCP also cannot cross).
   void set_blocked(NodeId from, NodeId to, bool blocked) {
     DYNA_EXPECTS(valid(from) && valid(to));
-    if (blocked) {
-      blocked_.insert({from, to});
-    } else {
-      blocked_.erase({from, to});
-    }
+    link(from, to).blocked = blocked;
   }
 
   /// Partition the node from everyone, both directions.
@@ -192,9 +194,25 @@ class Network {
     Handler handler;
     bool paused = false;
     /// Reliable messages that arrived while paused; flushed on resume.
-    std::deque<std::pair<NodeId, std::any>> parked;
+    std::deque<std::pair<NodeId, Message>> parked;
     NodeTraffic traffic;
     StallWindow stall;
+  };
+
+  /// Per-directed-link TCP state for the turbulence model.
+  struct StreamState {
+    Duration last_rtt{0};
+    TimePoint last_send = kNever;  // kNever => never sent
+    TimePoint turbulent_until = kSimEpoch;
+  };
+
+  /// Everything the transport tracks about one directed (from,to) pair.
+  /// Lives in a dense node_count*node_count table, indexed from*n+to.
+  struct Link {
+    std::unique_ptr<ConditionSchedule> override_schedule;  ///< null => default
+    TimePoint reliable_last_delivery = kSimEpoch;          ///< FIFO watermark
+    StreamState stream;
+    bool blocked = false;
   };
 
   [[nodiscard]] bool valid(NodeId n) const noexcept {
@@ -211,31 +229,56 @@ class Network {
     return nodes_[static_cast<std::size_t>(n)];
   }
 
+  Link& link(NodeId from, NodeId to) {
+    DYNA_EXPECTS(valid(from) && valid(to));
+    return links_[static_cast<std::size_t>(from) * nodes_.size() +
+                  static_cast<std::size_t>(to)];
+  }
+
+  [[nodiscard]] const Link& link(NodeId from, NodeId to) const {
+    DYNA_EXPECTS(valid(from) && valid(to));
+    return links_[static_cast<std::size_t>(from) * nodes_.size() +
+                  static_cast<std::size_t>(to)];
+  }
+
+  /// Re-stride the dense link table after add_node (rare, never mid-flight
+  /// on the hot path). Existing per-pair state is preserved.
+  void grow_links();
+
+  /// The schedule governing one link: its override if set, else the default.
+  [[nodiscard]] const ConditionSchedule& schedule_for(const Link& l) const {
+    return l.override_schedule != nullptr ? *l.override_schedule : default_schedule_;
+  }
+
   /// Sample a one-way delay for the current condition of (from,to).
   [[nodiscard]] Duration sample_one_way_delay(const LinkCondition& cond);
 
-  void deliver(NodeId from, NodeId to, const std::any& payload, Transport transport,
+  void deliver(NodeId from, NodeId to, const Message& payload, Transport transport,
                std::size_t bytes);
 
-  void schedule_delivery(NodeId from, NodeId to, std::any payload, Transport transport,
-                         std::size_t bytes, Duration delay);
+  /// `l` must be the (from,to) link — send() already holds it, so the hot
+  /// path does not resolve the table index twice.
+  void schedule_delivery(Link& l, NodeId from, NodeId to, Message payload,
+                         Transport transport, std::size_t bytes, Duration delay);
 
-  /// Per-directed-link TCP state for the turbulence model.
-  struct StreamState {
-    Duration last_rtt{0};
-    TimePoint last_send = kNever;  // kNever => never sent
-    TimePoint turbulent_until = kSimEpoch;
-  };
+  /// Park `payload` in the in-flight arena; returns its slot.
+  std::uint32_t arena_acquire(Message payload);
+
+  /// Move the payload out of `slot` and recycle it.
+  Message arena_release(std::uint32_t slot);
 
   sim::Simulator* sim_;
   Rng rng_;
   Config config_;
   ConditionSchedule default_schedule_{};
   std::vector<NodeState> nodes_;
-  std::map<std::pair<NodeId, NodeId>, ConditionSchedule> link_overrides_;
-  std::map<std::pair<NodeId, NodeId>, TimePoint> reliable_last_delivery_;
-  std::map<std::pair<NodeId, NodeId>, StreamState> streams_;
-  std::set<std::pair<NodeId, NodeId>> blocked_;
+  std::vector<Link> links_;  ///< dense n*n, indexed from*n+to
+
+  /// In-flight message arena: a delivery event captures only a slot index,
+  /// so scheduling it never allocates (the closure fits InlineFn's buffer)
+  /// and slots are recycled through a free list.
+  std::vector<Message> arena_;
+  std::vector<std::uint32_t> arena_free_;
 };
 
 }  // namespace dyna::net

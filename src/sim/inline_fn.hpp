@@ -1,0 +1,119 @@
+// Small-buffer-optimized move-only callable for the event engine.
+//
+// Every scheduled event used to carry a std::function<void()>, which
+// heap-allocates for captures beyond two pointers. Simulator callbacks are
+// overwhelmingly tiny closures ([this], [this, peer], a slot index...), so
+// InlineFn stores up to kInlineCapacity bytes in place and only falls back to
+// the allocator for oversized or throwing-move callables. The type is
+// move-only: events fire exactly once and are never copied, so paying for
+// copyability (as std::function does) would be pure waste on the hot path.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace dyna::sim {
+
+class InlineFn {
+ public:
+  /// Captures up to this size (and max_align_t alignment, and nothrow move)
+  /// live inline; anything bigger goes through one heap allocation. 48 bytes
+  /// covers every closure the engine itself creates with room to spare.
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  InlineFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, InlineFn> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor): callable wrapper
+    emplace(std::forward<F>(f));
+  }
+
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  /// Invoke the stored callable (which stays stored; timers re-fire it).
+  void operator()() {
+    DYNA_EXPECTS(ops_ != nullptr);
+    ops_->invoke(storage_);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-construct the callable at `dst` from `src`, destroying `src`.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename F>
+  static constexpr bool kStoresInline = sizeof(F) <= kInlineCapacity &&
+                                        alignof(F) <= alignof(std::max_align_t) &&
+                                        std::is_nothrow_move_constructible_v<F>;
+
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (kStoresInline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      static constexpr Ops kOps{
+          [](void* self) { (*std::launder(reinterpret_cast<D*>(self)))(); },
+          [](void* dst, void* src) noexcept {
+            D* from = std::launder(reinterpret_cast<D*>(src));
+            ::new (dst) D(std::move(*from));
+            from->~D();
+          },
+          [](void* self) noexcept { std::launder(reinterpret_cast<D*>(self))->~D(); }};
+      ops_ = &kOps;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      static constexpr Ops kOps{
+          [](void* self) { (**std::launder(reinterpret_cast<D**>(self)))(); },
+          [](void* dst, void* src) noexcept {
+            ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+          },
+          [](void* self) noexcept { delete *std::launder(reinterpret_cast<D**>(self)); }};
+      ops_ = &kOps;
+    }
+  }
+
+  void move_from(InlineFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(storage_, other.storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace dyna::sim

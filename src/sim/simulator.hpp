@@ -5,22 +5,31 @@
 // identical traces — the property every reproduction experiment in this repo
 // rests on. Trials are independent; parallelism happens across Simulators
 // (see src/parallel), never inside one.
+//
+// Engine layout (the repo's hottest path — see ARCHITECTURE.md):
+//  * a 4-ary min-heap over 24-byte POD entries (when, seq, slot, gen). The
+//    wide fan-out halves tree depth versus a binary heap and keeps sift paths
+//    inside one or two cache lines of entries;
+//  * a slot table holding the callables (sim::InlineFn, no allocation for
+//    small captures), recycled through a free list;
+//  * generation counters per slot: cancellation is O(1) — bump nothing, just
+//    disarm the slot — and stale heap entries are lazily discarded on pop
+//    when their generation no longer matches. No hash sets anywhere.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "sim/inline_fn.hpp"
 
 namespace dyna::sim {
 
-using EventFn = std::function<void()>;
+using EventFn = InlineFn;
 
 /// Handle for a scheduled event; usable to cancel it before it fires.
+/// Encodes (slot << 32 | generation); never 0 for a live event.
 using EventId = std::uint64_t;
 
 inline constexpr EventId kInvalidEvent = 0;
@@ -36,12 +45,28 @@ class Simulator {
 
   /// Schedule `fn` at absolute time `when` (clamped to now if in the past).
   EventId schedule_at(TimePoint when, EventFn fn) {
-    DYNA_EXPECTS(fn != nullptr);
+    DYNA_EXPECTS(static_cast<bool>(fn));
     if (when < now_) when = now_;
-    const EventId id = ++next_id_;
-    queue_.push(Entry{when, id, std::move(fn)});
-    live_.insert(id);
-    return id;
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[slot];
+    // A fresh generation invalidates every outstanding id for this slot.
+    // (The LIFO free list can concentrate reuse on one slot — a lone
+    // re-armed timer bumps the same generation every arm — so the wrap
+    // bound is 2^32 reuses of a *single* slot. Whole trials run ~1e8
+    // events, two orders of magnitude under it; revisit if trials grow.)
+    ++s.gen;
+    s.armed = true;
+    s.fn = std::move(fn);
+    heap_push(HeapEntry{when, ++seq_, slot, s.gen});
+    ++live_;
+    return make_id(slot, s.gen);
   }
 
   /// Schedule `fn` after `delay` (negative delays clamp to "immediately").
@@ -50,26 +75,34 @@ class Simulator {
   }
 
   /// Cancel a pending event. Returns false if it already fired or was
-  /// cancelled before.
+  /// cancelled before. O(1): the heap entry stays behind and is discarded
+  /// lazily when it surfaces with a stale generation.
   bool cancel(EventId id) {
-    if (live_.erase(id) == 0) return false;
-    cancelled_.insert(id);
+    const auto slot = static_cast<std::uint32_t>(id >> 32);
+    const auto gen = static_cast<std::uint32_t>(id);
+    if (slot >= slots_.size()) return false;
+    Slot& s = slots_[slot];
+    if (s.gen != gen || !s.armed) return false;
+    release(s, slot);
     return true;
   }
 
   /// Execute the next pending event, advancing the clock. Returns false if
   /// the queue is empty.
   bool step() {
-    while (!queue_.empty()) {
-      // Copy out before pop: the callback may schedule into the queue.
-      Entry top = std::move(const_cast<Entry&>(queue_.top()));
-      queue_.pop();
-      if (cancelled_.erase(top.id) > 0) continue;
-      live_.erase(top.id);
+    while (!heap_.empty()) {
+      const HeapEntry top = heap_.front();
+      heap_pop();
+      Slot& s = slots_[top.slot];
+      if (s.gen != top.gen || !s.armed) continue;  // cancelled: lazy discard
       DYNA_ASSERT(top.when >= now_);
       now_ = top.when;
       ++executed_;
-      top.fn();
+      // Move the callable out before invoking: the callback may schedule new
+      // events, which can grow slots_ and recycle this very slot.
+      InlineFn fn = std::move(s.fn);
+      release(s, top.slot);
+      fn();
       return true;
     }
     return false;
@@ -79,8 +112,7 @@ class Simulator {
   /// clock to `horizon` exactly (so back-to-back run_for calls tile time).
   void run_until(TimePoint horizon) {
     DYNA_EXPECTS(horizon >= now_);
-    while (!queue_.empty() && queue_.top().when <= horizon) {
-      if (peek_cancelled()) continue;
+    while (drop_stale_heads() && heap_.front().when <= horizon) {
       step();
     }
     now_ = horizon;
@@ -97,37 +129,96 @@ class Simulator {
   }
 
   [[nodiscard]] std::size_t executed() const noexcept { return executed_; }
-  [[nodiscard]] std::size_t pending() const noexcept { return live_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
 
  private:
-  struct Entry {
+  /// 24-byte POD heap entry. `seq` is the global insertion counter and breaks
+  /// same-time ties FIFO; (slot, gen) locates and validates the callable.
+  struct HeapEntry {
     TimePoint when;
-    EventId id;
-    EventFn fn;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
 
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;  // FIFO among same-time events
-    }
+  struct Slot {
+    std::uint32_t gen = 0;
+    bool armed = false;
+    InlineFn fn;
   };
 
-  /// Discard the queue head if it was cancelled. Returns true if discarded.
-  bool peek_cancelled() {
-    const Entry& top = queue_.top();
-    if (cancelled_.erase(top.id) > 0) {
-      queue_.pop();
-      return true;
+  static constexpr std::size_t kArity = 4;
+
+  [[nodiscard]] static EventId make_id(std::uint32_t slot, std::uint32_t gen) noexcept {
+    return (static_cast<EventId>(slot) << 32) | gen;
+  }
+
+  [[nodiscard]] static bool earlier(const HeapEntry& a, const HeapEntry& b) noexcept {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;  // FIFO among same-time events
+  }
+
+  /// Disarm a slot and return it to the free list (fired or cancelled).
+  void release(Slot& s, std::uint32_t slot) {
+    s.armed = false;
+    s.fn.reset();
+    free_slots_.push_back(slot);
+    --live_;
+  }
+
+  /// Pop cancelled entries off the heap head. Returns false if nothing live
+  /// remains (heap empty).
+  bool drop_stale_heads() {
+    while (!heap_.empty()) {
+      const HeapEntry& top = heap_.front();
+      const Slot& s = slots_[top.slot];
+      if (s.gen == top.gen && s.armed) return true;
+      heap_pop();
     }
     return false;
   }
 
+  void heap_push(HeapEntry e) {
+    std::size_t i = heap_.size();
+    heap_.push_back(e);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!earlier(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  void heap_pop() {
+    DYNA_ASSERT(!heap_.empty());
+    const HeapEntry last = heap_.back();
+    heap_.pop_back();
+    if (heap_.empty()) return;
+    // Sift `last` down from the root.
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = i * kArity + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = first + kArity < n ? first + kArity : n;
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (earlier(heap_[c], heap_[best])) best = c;
+      }
+      if (!earlier(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+
   TimePoint now_ = kSimEpoch;
-  EventId next_id_ = kInvalidEvent;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<EventId> live_;
-  std::unordered_set<EventId> cancelled_;
+  std::uint64_t seq_ = 0;  ///< global insertion counter (FIFO tie-break)
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;
   std::size_t executed_ = 0;
 };
 
@@ -138,7 +229,7 @@ class Timer {
  public:
   Timer(Simulator& simulator, EventFn on_fire)
       : sim_(&simulator), on_fire_(std::move(on_fire)) {
-    DYNA_EXPECTS(on_fire_ != nullptr);
+    DYNA_EXPECTS(static_cast<bool>(on_fire_));
   }
 
   Timer(const Timer&) = delete;

@@ -1,0 +1,139 @@
+// Clock skew in the measurement path (§IV-D's multi-machine AWS setting).
+//
+// FailoverOptions::clock_skew_ms models per-node NTP error: the probe shifts
+// every recorded timestamp by the reporting node's fixed offset, exactly the
+// distortion a log-file reader sees when detection and OTS instants come from
+// different machines' clocks. Dynatune's RTT measurement itself is immune (the
+// follower echoes the leader's timestamp verbatim), so skew must distort only
+// the *reported* experiment numbers — never the simulation itself.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "cluster/cluster.hpp"
+#include "cluster/experiment.hpp"
+#include "test_support.hpp"
+
+namespace dyna {
+namespace {
+
+using namespace std::chrono_literals;
+using cluster::Cluster;
+using cluster::FailoverOptions;
+using testutil::constant_link;
+
+cluster::ClusterConfig skew_cfg(std::uint64_t seed, bool dynatune) {
+  cluster::ClusterConfig cfg = dynatune ? cluster::make_dynatune_config(5, seed)
+                                        : cluster::make_raft_config(5, seed);
+  cfg.links = constant_link(60ms, 3ms, 0.01);
+  return cfg;
+}
+
+std::vector<cluster::FailoverSample> run_failover(std::uint64_t seed, bool dynatune,
+                                                  std::optional<double> skew_ms) {
+  Cluster c(skew_cfg(seed, dynatune));
+  FailoverOptions opt;
+  opt.kills = 3;
+  opt.settle = 3s;
+  opt.clock_skew_ms = skew_ms;
+  return cluster::FailoverExperiment::run(c, opt);
+}
+
+std::string serialize(const std::vector<cluster::FailoverSample>& samples) {
+  std::ostringstream out;
+  out.precision(17);
+  for (const auto& s : samples) {
+    out << s.detection_ms << "," << s.ots_ms << "," << s.election_ms << ","
+        << s.mean_randomized_ms << "," << s.ok << ";";
+  }
+  return out.str();
+}
+
+TEST(ClockSkew, SkewedExperimentIsReproducible) {
+  const auto a = run_failover(31, /*dynatune=*/true, 25.0);
+  const auto b = run_failover(31, /*dynatune=*/true, 25.0);
+  EXPECT_EQ(serialize(a), serialize(b));
+}
+
+TEST(ClockSkew, SkewDistortsReportedInstantsOnly) {
+  // Same seed, same cluster dynamics — only the probe's reading frame moves.
+  // The failovers must still all succeed, but the reported detection/OTS
+  // numbers must differ from the one-clock run (offsets are drawn from a
+  // forked RNG stream, so the simulation itself is untouched).
+  const auto plain = run_failover(32, /*dynatune=*/true, std::nullopt);
+  const auto skewed = run_failover(32, /*dynatune=*/true, 40.0);
+  ASSERT_EQ(plain.size(), skewed.size());
+
+  bool any_shift = false;
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    ASSERT_TRUE(plain[i].ok) << "kill " << i;
+    ASSERT_TRUE(skewed[i].ok) << "kill " << i;
+    // The underlying election really happened at the same simulated instants:
+    // mean randomizedTimeout is read straight off node state, not probe logs.
+    EXPECT_DOUBLE_EQ(plain[i].mean_randomized_ms, skewed[i].mean_randomized_ms);
+    if (std::abs(plain[i].detection_ms - skewed[i].detection_ms) > 1e-9 ||
+        std::abs(plain[i].ots_ms - skewed[i].ots_ms) > 1e-9) {
+      any_shift = true;
+    }
+  }
+  EXPECT_TRUE(any_shift) << "40 ms stddev skew left every reported instant unchanged";
+
+  // 40 ms of NTP error cannot move a reported instant by seconds.
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_LT(std::abs(plain[i].ots_ms - skewed[i].ots_ms), 500.0);
+    EXPECT_LT(std::abs(plain[i].detection_ms - skewed[i].detection_ms), 500.0);
+  }
+}
+
+TEST(ClockSkew, ZeroSkewMatchesOneClockRun) {
+  // sigma = 0 draws all-zero offsets from the forked stream; the reported
+  // numbers must match the nullopt (single clock) run byte for byte.
+  const auto plain = run_failover(33, /*dynatune=*/false, std::nullopt);
+  const auto zero = run_failover(33, /*dynatune=*/false, 0.0);
+  EXPECT_EQ(serialize(plain), serialize(zero));
+}
+
+TEST(ClockSkew, SkewAppliesAcrossTheFullExperimentPath) {
+  // Timeline sampling + failover kills on a fluctuating link, as the paper's
+  // composite figures run them, with skew active throughout. The run must
+  // stay deterministic and the timeline (sampled from node state, not probe
+  // logs) must be identical to the unskewed run.
+  auto run = [](std::optional<double> skew) {
+    cluster::ClusterConfig cfg = cluster::make_dynatune_config(5, 34);
+    net::LinkCondition base;
+    base.jitter = 2ms;
+    cfg.links = net::ConditionSchedule::rtt_steps(base, {40ms, 120ms}, 15s);
+    Cluster c(std::move(cfg));
+    c.await_leader(60s);
+
+    cluster::TimelineOptions topt;
+    topt.duration = 20s;
+    const auto timeline = cluster::run_randomized_timeline(c, topt);
+
+    cluster::FailoverOptions fopt;
+    fopt.kills = 2;
+    fopt.settle = 3s;
+    fopt.clock_skew_ms = skew;
+    const auto kills = cluster::FailoverExperiment::run(c, fopt);
+
+    std::ostringstream out;
+    out.precision(17);
+    for (const auto& p : timeline) {
+      out << p.t_sec << "," << p.randomized_kth_ms << "," << p.ots << ";";
+    }
+    return std::make_pair(out.str(), serialize(kills));
+  };
+
+  const auto [timeline_plain, kills_plain] = run(std::nullopt);
+  const auto [timeline_skewed, kills_skewed] = run(15.0);
+  EXPECT_EQ(timeline_plain, timeline_skewed);
+  EXPECT_NE(kills_plain, kills_skewed);
+
+  const auto [timeline_again, kills_again] = run(15.0);
+  EXPECT_EQ(timeline_skewed, timeline_again);
+  EXPECT_EQ(kills_skewed, kills_again);
+}
+
+}  // namespace
+}  // namespace dyna

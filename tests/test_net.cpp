@@ -1,6 +1,5 @@
 #include <gtest/gtest.h>
 
-#include <any>
 #include <vector>
 
 #include "net/condition.hpp"
@@ -18,7 +17,7 @@ TEST(Network, DeliversDatagram) {
   Harness h;
   const NodeId a = h.net.add_node();
   const NodeId b = h.add_receiver();
-  h.net.send(a, b, std::any(7), Transport::Datagram);
+  h.net.send(a, b, Message(7), Transport::Datagram);
   h.sim.run_all();
   ASSERT_EQ(h.received.size(), 1u);
   EXPECT_EQ(h.received[0], std::make_pair(b, 7));
@@ -31,7 +30,7 @@ TEST(Network, DeliveryTakesAboutHalfRtt) {
   h.net.set_default_schedule(ConditionSchedule::constant(cond));
   const NodeId a = h.net.add_node();
   const NodeId b = h.add_receiver();
-  h.net.send(a, b, std::any(1), Transport::Datagram);
+  h.net.send(a, b, Message(1), Transport::Datagram);
   h.sim.run_all();
   const double t = to_ms(h.sim.now());
   EXPECT_NEAR(t, 50.0, 1.0);  // one-way = rtt/2 (+ sub-ms OS noise)
@@ -46,7 +45,7 @@ TEST(Network, EmpiricalLossRateMatchesConfig) {
   const NodeId a = h.net.add_node();
   const NodeId b = h.add_receiver();
   const int n = 20000;
-  for (int i = 0; i < n; ++i) h.net.send(a, b, std::any(i), Transport::Datagram);
+  for (int i = 0; i < n; ++i) h.net.send(a, b, Message(i), Transport::Datagram);
   h.sim.run_all();
   EXPECT_NEAR(static_cast<double>(h.received.size()) / n, 0.75, 0.02);
   EXPECT_EQ(h.net.traffic(b).lost + h.received.size(), static_cast<std::uint64_t>(n));
@@ -62,7 +61,7 @@ TEST(Network, ReliableNeverLosesAndStaysFifo) {
   const NodeId a = h.net.add_node();
   const NodeId b = h.add_receiver();
   const int n = 500;
-  for (int i = 0; i < n; ++i) h.net.send(a, b, std::any(i), Transport::Reliable);
+  for (int i = 0; i < n; ++i) h.net.send(a, b, Message(i), Transport::Reliable);
   h.sim.run_all();
   ASSERT_EQ(h.received.size(), static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) EXPECT_EQ(h.received[i].second, i) << "reordered at " << i;
@@ -76,7 +75,7 @@ TEST(Network, DatagramsCanReorderUnderJitter) {
   h.net.set_default_schedule(ConditionSchedule::constant(cond));
   const NodeId a = h.net.add_node();
   const NodeId b = h.add_receiver();
-  for (int i = 0; i < 500; ++i) h.net.send(a, b, std::any(i), Transport::Datagram);
+  for (int i = 0; i < 500; ++i) h.net.send(a, b, Message(i), Transport::Datagram);
   h.sim.run_all();
   bool reordered = false;
   for (std::size_t i = 1; i < h.received.size(); ++i) {
@@ -94,7 +93,7 @@ TEST(Network, DuplicateProbabilityProducesDuplicates) {
   const NodeId a = h.net.add_node();
   const NodeId b = h.add_receiver();
   const int n = 2000;
-  for (int i = 0; i < n; ++i) h.net.send(a, b, std::any(i), Transport::Datagram);
+  for (int i = 0; i < n; ++i) h.net.send(a, b, Message(i), Transport::Datagram);
   h.sim.run_all();
   EXPECT_NEAR(static_cast<double>(h.received.size()), n * 1.5, n * 0.06);
 }
@@ -103,8 +102,8 @@ TEST(Network, TrafficCountersTrackBytes) {
   Harness h;
   const NodeId a = h.net.add_node();
   const NodeId b = h.add_receiver();
-  h.net.send(a, b, std::any(1), Transport::Reliable, 100);
-  h.net.send(a, b, std::any(2), Transport::Reliable, 50);
+  h.net.send(a, b, Message(1), Transport::Reliable, 100);
+  h.net.send(a, b, Message(2), Transport::Reliable, 50);
   h.sim.run_all();
   EXPECT_EQ(h.net.traffic(a).sent, 2u);
   EXPECT_EQ(h.net.traffic(a).sent_bytes, 150u);
@@ -183,11 +182,11 @@ TEST(Network, ScheduleChangesDelayMidFlight) {
       {{kSimEpoch, slow}, {kSimEpoch + 1s, fast}}));
   const NodeId a = h.net.add_node();
   const NodeId b = h.add_receiver();
-  h.net.send(a, b, std::any(1), Transport::Datagram);
+  h.net.send(a, b, Message(1), Transport::Datagram);
   h.sim.run_all();
   EXPECT_NEAR(to_ms(h.sim.now()), 100.0, 2.0);
   h.sim.run_until(kSimEpoch + 2s);
-  h.net.send(a, b, std::any(2), Transport::Datagram);
+  h.net.send(a, b, Message(2), Transport::Datagram);
   h.sim.run_all();
   EXPECT_NEAR(to_ms(h.sim.now()) - 2000.0, 10.0, 1.0);
 }

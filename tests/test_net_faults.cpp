@@ -1,7 +1,6 @@
 // Fault-model tests: pause semantics, partitions, stalls, TCP turbulence.
 #include <gtest/gtest.h>
 
-#include <any>
 #include <vector>
 
 #include "net/network.hpp"
@@ -19,7 +18,7 @@ TEST(Pause, DatagramsDroppedWhilePaused) {
   const NodeId a = h.net.add_node();
   const NodeId b = h.add_receiver();
   h.net.set_paused(b, true);
-  h.net.send(a, b, std::any(1), Transport::Datagram);
+  h.net.send(a, b, Message(1), Transport::Datagram);
   h.sim.run_all();
   EXPECT_TRUE(h.received.empty());
   EXPECT_EQ(h.net.traffic(b).dropped_paused, 1u);
@@ -33,7 +32,7 @@ TEST(Pause, ReliableParkedAndFlushedOnResume) {
   const NodeId a = h.net.add_node();
   const NodeId b = h.add_receiver();
   h.net.set_paused(b, true);
-  for (int i = 0; i < 5; ++i) h.net.send(a, b, std::any(i), Transport::Reliable);
+  for (int i = 0; i < 5; ++i) h.net.send(a, b, Message(i), Transport::Reliable);
   h.sim.run_all();
   EXPECT_TRUE(h.received.empty());
   h.net.set_paused(b, false);
@@ -48,7 +47,7 @@ TEST(Pause, MessagesSentBeforePauseStillArriveAfterResume) {
   h.net.set_default_schedule(ConditionSchedule::constant(cond));
   const NodeId a = h.net.add_node();
   const NodeId b = h.add_receiver();
-  h.net.send(a, b, std::any(9), Transport::Reliable);  // in flight ~50ms
+  h.net.send(a, b, Message(9), Transport::Reliable);  // in flight ~50ms
   h.net.set_paused(b, true);
   h.sim.run_for(200ms);  // delivery parked
   EXPECT_TRUE(h.received.empty());
@@ -62,12 +61,12 @@ TEST(Partition, BlockedLinkDropsSilently) {
   const NodeId a = h.net.add_node();
   const NodeId b = h.add_receiver();
   h.net.set_blocked(a, b, true);
-  h.net.send(a, b, std::any(1), Transport::Reliable);
-  h.net.send(a, b, std::any(2), Transport::Datagram);
+  h.net.send(a, b, Message(1), Transport::Reliable);
+  h.net.send(a, b, Message(2), Transport::Datagram);
   h.sim.run_all();
   EXPECT_TRUE(h.received.empty());
   h.net.set_blocked(a, b, false);
-  h.net.send(a, b, std::any(3), Transport::Reliable);
+  h.net.send(a, b, Message(3), Transport::Reliable);
   h.sim.run_all();
   EXPECT_EQ(h.payloads(), std::vector<int>{3});
 }
@@ -78,13 +77,13 @@ TEST(Partition, IsolateCutsBothDirections) {
   const NodeId b = h.add_receiver();
   const NodeId c = h.add_receiver();
   h.net.isolate(b, true);
-  h.net.send(a, b, std::any(1), Transport::Datagram);
-  h.net.send(b, a, std::any(2), Transport::Datagram);
-  h.net.send(a, c, std::any(3), Transport::Datagram);
+  h.net.send(a, b, Message(1), Transport::Datagram);
+  h.net.send(b, a, Message(2), Transport::Datagram);
+  h.net.send(a, c, Message(3), Transport::Datagram);
   h.sim.run_all();
   EXPECT_EQ(h.payloads(), std::vector<int>{3});  // only a->c got through
   h.net.isolate(b, false);
-  h.net.send(a, b, std::any(4), Transport::Datagram);
+  h.net.send(a, b, Message(4), Transport::Datagram);
   h.sim.run_all();
   EXPECT_EQ(h.payloads(), (std::vector<int>{3, 4}));
 }
@@ -115,7 +114,7 @@ TEST(Stalls, ProduceDelayBursts) {
     if (sent >= 2000) return;
     ++sent;
     const TimePoint t0 = h.sim.now();
-    h.net.send(a, b, std::any(sent), Transport::Datagram);
+    h.net.send(a, b, Message(sent), Transport::Datagram);
     h.sim.schedule_after(5ms, pump);
     (void)t0;
   };
@@ -164,8 +163,8 @@ TEST(Turbulence, RttJumpStallsActiveReliableStream) {
   // Keep the stream active across the jump.
   for (int i = 0; i < 20; ++i) {
     h.sim.schedule_at(kSimEpoch + i * 100ms, [&, i] {
-      h.net.send(a, b, std::any(i), Transport::Datagram);  // keepalive marker
-      h.net.send(a, b, std::any(1000 + i), Transport::Reliable);
+      h.net.send(a, b, Message(i), Transport::Datagram);  // keepalive marker
+      h.net.send(a, b, Message(1000 + i), Transport::Reliable);
     });
   }
   h.sim.run_until(kSimEpoch + 990ms);
@@ -201,12 +200,12 @@ TEST(Turbulence, IdleStreamsAreExempt) {
 
   // One pre-jump send long before, then silence across the jump.
   h.sim.schedule_at(kSimEpoch + 10ms, [&] {
-    h.net.send(a, b, std::any(1), Transport::Reliable);
+    h.net.send(a, b, Message(1), Transport::Reliable);
   });
   h.sim.run_until(kSimEpoch + 2s);
   const std::size_t before = h.received.size();
   // Idle across the jump: this send sees the new RTT cleanly (~250 ms).
-  h.net.send(a, b, std::any(2), Transport::Reliable);
+  h.net.send(a, b, Message(2), Transport::Reliable);
   h.sim.run_until(kSimEpoch + 2s + 400ms);
   EXPECT_EQ(h.received.size(), before + 1);
 }
@@ -223,7 +222,7 @@ TEST(Turbulence, GradualChangesDoNotTrigger) {
   const NodeId b = h.add_receiver();
   for (int i = 0; i < 15; ++i) {
     h.sim.schedule_at(kSimEpoch + i * 100ms, [&, i] {
-      h.net.send(a, b, std::any(i), Transport::Reliable);
+      h.net.send(a, b, Message(i), Transport::Reliable);
     });
   }
   h.sim.run_until(kSimEpoch + 5s);

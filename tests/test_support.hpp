@@ -9,7 +9,6 @@
 
 #include <gtest/gtest.h>
 
-#include <any>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -31,8 +30,8 @@ using namespace std::chrono_literals;
 [[nodiscard]] inline Rng test_rng(std::uint64_t seed = 42) { return Rng(seed); }
 
 /// Bare-metal network harness: one Simulator, one Network, and a recorder of
-/// everything delivered. Payloads are ints wrapped in std::any, mirroring how
-/// the unit suites exercise the transport.
+/// everything delivered. Payloads are ints wrapped in net::TestPayload,
+/// mirroring how the unit suites exercise the transport.
 struct NetHarness {
   explicit NetHarness(net::Network::Config cfg = {}, std::uint64_t seed = 42)
       : net(sim, Rng(seed), cfg) {}
@@ -44,8 +43,9 @@ struct NetHarness {
   /// Add a node whose deliveries are appended to `received`.
   NodeId add_receiver() {
     const NodeId id = net.add_node(nullptr);
-    net.set_handler(id, [this, id](NodeId /*from*/, const std::any& p) {
-      received.emplace_back(id, std::any_cast<int>(p));
+    net.set_handler(id, [this, id](NodeId /*from*/, const net::Message& p) {
+      ASSERT_NE(p.test(), nullptr);
+      received.emplace_back(id, static_cast<int>(p.test()->value));
     });
     return id;
   }
