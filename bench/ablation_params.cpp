@@ -10,64 +10,57 @@
 //
 // Usage: ablation_params [--kills=N] [--seed=S]
 #include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
 
-#include "bench_common.hpp"
+#include "common/cli.hpp"
 #include "dynatune/config.hpp"
-#include "parallel/trial_runner.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/sink.hpp"
 
 namespace {
 
 using namespace dyna;
-using namespace dyna::bench;
 using namespace std::chrono_literals;
+
+constexpr std::size_t kKillsPerTrial = 25;
 
 struct AblationRow {
   std::string label;
-  FailoverStats stats;
+  scenario::FailoverStats stats;
   double timeouts_per_min = 0.0;  ///< all timer expiries per minute (kill cascades + false detections)
 };
 
 AblationRow run_config(const std::string& label, dt::DynatuneConfig dt_cfg, Duration tick,
                        std::size_t kills, std::uint64_t seed, unsigned threads) {
-  const std::size_t kills_per_trial = 25;
-  const std::size_t trials = (kills + kills_per_trial - 1) / kills_per_trial;
+  scenario::ScenarioSpec base;
+  base.name = "ablation";
+  base.variant = scenario::Variant::Dynatune;
+  base.dynatune = dt_cfg;
+  base.raft_tick = tick;
+  base.topology = scenario::TopologySpec::constant(100ms);
+  base.transport.stall = scenario::testbed_stalls();
+  base.faults = scenario::FaultPlan::leader_kills(kKillsPerTrial, 10s);
 
-  struct TrialOut {
-    std::vector<cluster::FailoverSample> samples;
-    double minutes = 0.0;
-    std::size_t timeouts = 0;
-  };
+  scenario::SweepSpec sweep;
+  sweep.base = std::move(base);
+  sweep.seeds = (kills + kKillsPerTrial - 1) / kKillsPerTrial;
+  sweep.master_seed = seed;
+  sweep.threads = threads;
+  const auto results = scenario::ScenarioRunner::run_sweep(sweep);
 
-  auto fn = [&](std::size_t, std::uint64_t trial_seed) {
-    cluster::ClusterConfig cfg = cluster::make_dynatune_config(5, trial_seed, dt_cfg);
-    cfg.raft.tick = tick;
-    net::LinkCondition link;
-    link.rtt = 100ms;
-    cfg.links = net::ConditionSchedule::constant(link);
-    cfg.transport.stall = testbed_stalls();
-    cluster::Cluster c(std::move(cfg));
-    cluster::FailoverOptions opt;
-    opt.kills = kills_per_trial;
-    opt.settle = 10s;
-    TrialOut out;
-    out.samples = cluster::FailoverExperiment::run(c, opt);
-    out.minutes = to_sec(c.sim().now()) / 60.0;
-    out.timeouts = c.probe().timeouts().size();
-    return out;
-  };
-
-  auto per_trial = par::run_trials<TrialOut>(trials, seed, fn, threads);
-  std::vector<cluster::FailoverSample> all;
+  std::vector<scenario::FailoverSample> all;
   double minutes = 0.0;
   std::size_t timeouts = 0;
-  for (auto& t : per_trial) {
-    for (auto& s : t.samples) all.push_back(s);
-    minutes += t.minutes;
-    timeouts += t.timeouts;
+  for (const auto& r : results) {
+    all.insert(all.end(), r.failovers.begin(), r.failovers.end());
+    minutes += r.sim_seconds / 60.0;
+    timeouts += r.timer_expiries;
   }
   AblationRow row;
   row.label = label;
-  row.stats = summarize(all);
+  row.stats = scenario::summarize_failovers(all);
   row.timeouts_per_min = minutes > 0 ? static_cast<double>(timeouts) / minutes : 0.0;
   return row;
 }

@@ -9,55 +9,41 @@
 // OTS 1449 -> 797 ms (-45 %); mean randomizedTimeout 1454 vs 152 ms;
 // Dynatune's election phase is *longer* (560 vs 244 ms) due to split votes.
 //
-// Usage: fig4_election [--kills=N] [--seed=S] [--threads=T]
+// The kill budget is sharded: a seed sweep of independent clusters each
+// executes 25 sequential kills (the paper runs 1000 on one cluster;
+// sharding only helps wall-clock and leaves the statistics unchanged).
+//
+// Usage: fig4_election [--kills=N] [--seed=S] [--threads=T] [--csv=FILE]
 // DYNA_BENCH_SCALE=5 multiplies kill count (paper scale: 1000).
 #include <cstdio>
 
-#include "bench_common.hpp"
-#include "parallel/trial_runner.hpp"
+#include "common/cli.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/sink.hpp"
 
 namespace {
 
 using namespace dyna;
-using namespace dyna::bench;
+using namespace std::chrono_literals;
 
-struct VariantResult {
-  std::vector<cluster::FailoverSample> samples;
-};
+constexpr std::size_t kKillsPerTrial = 25;
 
-bool g_stalls = true;
+scenario::SweepSpec fig4_sweep(scenario::Variant variant, std::size_t kills,
+                               std::uint64_t seed, unsigned threads, bool stalls) {
+  scenario::ScenarioSpec base;
+  base.name = "fig4";
+  base.variant = variant;
+  base.servers = 5;
+  base.topology = scenario::TopologySpec::constant(100ms);
+  if (stalls) base.transport.stall = scenario::testbed_stalls();
+  base.faults = scenario::FaultPlan::leader_kills(kKillsPerTrial, 10s);
 
-std::vector<cluster::FailoverSample> run_variant(bool dynatune, std::size_t kills,
-                                                 std::uint64_t seed, unsigned threads) {
-  // Split the kill budget into independent parallel clusters, each executing
-  // a share of sequential kills (the paper runs 1000 kills on one cluster;
-  // splitting only helps wall-clock and leaves the statistics unchanged).
-  const std::size_t kills_per_trial = 25;
-  const std::size_t trials = (kills + kills_per_trial - 1) / kills_per_trial;
-
-  auto fn = [&](std::size_t /*trial*/, std::uint64_t trial_seed) {
-    cluster::ClusterConfig cfg = dynatune ? cluster::make_dynatune_config(5, trial_seed)
-                                          : cluster::make_raft_config(5, trial_seed);
-    net::LinkCondition link;
-    link.rtt = std::chrono::milliseconds(100);
-    cfg.links = net::ConditionSchedule::constant(link);
-    if (g_stalls) cfg.transport.stall = testbed_stalls();
-    cluster::Cluster c(std::move(cfg));
-
-    cluster::FailoverOptions opt;
-    opt.kills = kills_per_trial;
-    opt.settle = std::chrono::seconds(10);
-    return cluster::FailoverExperiment::run(c, opt);
-  };
-
-  auto per_trial = par::run_trials<std::vector<cluster::FailoverSample>>(trials, seed, fn, threads);
-  std::vector<cluster::FailoverSample> all;
-  for (auto& t : per_trial) {
-    for (auto& s : t) {
-      if (all.size() < kills) all.push_back(s);
-    }
-  }
-  return all;
+  scenario::SweepSpec sweep;
+  sweep.base = std::move(base);
+  sweep.seeds = (kills + kKillsPerTrial - 1) / kKillsPerTrial;
+  sweep.master_seed = seed;
+  sweep.threads = threads;
+  return sweep;
 }
 
 }  // namespace
@@ -67,16 +53,23 @@ int main(int argc, char** argv) {
   const auto kills = static_cast<std::size_t>(cli.scaled(cli.get_or("kills", std::int64_t{200})));
   const auto seed = static_cast<std::uint64_t>(cli.get_or("seed", std::int64_t{1}));
   const auto threads = static_cast<unsigned>(cli.get_or("threads", std::int64_t{0}));
-  g_stalls = cli.get_or("stalls", std::int64_t{1}) != 0;
+  const bool stalls = cli.get_or("stalls", std::int64_t{1}) != 0;
 
   metrics::banner("Fig 4: detection & OTS time, Raft vs Dynatune (5 servers, RTT 100 ms)");
   std::printf("kills per variant: %zu (DYNA_BENCH_SCALE to change; paper: 1000)\n", kills);
 
-  const auto raft = run_variant(false, kills, seed, threads);
-  const auto dyna_samples = run_variant(true, kills, seed + 1, threads);
+  auto raft_results = scenario::ScenarioRunner::run_sweep(
+      fig4_sweep(scenario::Variant::Raft, kills, seed, threads, stalls));
+  auto dyna_results = scenario::ScenarioRunner::run_sweep(
+      fig4_sweep(scenario::Variant::Dynatune, kills, seed + 1, threads, stalls));
+  scenario::trim_failovers(raft_results, kills);
+  scenario::trim_failovers(dyna_results, kills);
 
-  const FailoverStats r = summarize(raft);
-  const FailoverStats d = summarize(dyna_samples);
+  const auto raft = scenario::collect_failovers(raft_results);
+  const auto dyna_samples = scenario::collect_failovers(dyna_results);
+
+  const scenario::FailoverStats r = scenario::summarize_failovers(raft);
+  const scenario::FailoverStats d = scenario::summarize_failovers(dyna_samples);
 
   metrics::Table t({"metric", "Raft", "Dynatune", "reduction", "paper Raft", "paper Dynatune",
                     "paper reduction"});
@@ -94,21 +87,20 @@ int main(int argc, char** argv) {
   t.print();
 
   std::printf("\n");
-  print_cdf("Raft detection", detection_samples(raft));
-  print_cdf("Dynatune detection", detection_samples(dyna_samples));
-  print_cdf("Raft OTS", ots_samples(raft));
-  print_cdf("Dynatune OTS", ots_samples(dyna_samples));
+  scenario::print_failover_cdfs("Raft", raft);
+  scenario::print_failover_cdfs("Dynatune", dyna_samples);
 
   if (r.failed_trials + d.failed_trials > 0) {
     std::printf("warning: %zu trials failed to elect within the horizon\n",
                 r.failed_trials + d.failed_trials);
   }
 
-  // --csv=FILE dumps the raw per-kill series for offline plotting / diffing.
+  // --csv=FILE dumps the raw per-kill series for offline plotting / the CI
+  // bench-diff gate (committed snapshot: bench/reference/fig4_election.csv).
   if (const auto csv_path = cli.get("csv")) {
-    CsvWriter csv(*csv_path, failover_csv_header());
-    append_failover_csv(csv, "raft", raft);
-    append_failover_csv(csv, "dynatune", dyna_samples);
+    scenario::CsvSink csv(*csv_path, scenario::CsvSection::Failover);
+    csv.consume_all(raft_results);
+    csv.consume_all(dyna_results);
     std::printf("wrote %s\n", csv_path->c_str());
   }
   return 0;

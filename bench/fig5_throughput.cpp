@@ -12,42 +12,33 @@
 // reproducing the paper's 6.4 % peak-throughput cost. Latency floor =
 // client->leader half RTT + replication RTT + return half RTT = ~200 ms.
 //
-// Usage: fig5_throughput [--level-sec=N] [--max-rps=R] [--seed=S]
+// Usage: fig5_throughput [--level-sec=N] [--max-rps=R] [--seed=S] [--csv=FILE]
 #include <cstdio>
 
-#include "bench_common.hpp"
-#include "kvstore/client.hpp"
+#include "common/cli.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/sink.hpp"
 #include "workload/open_loop.hpp"
 
 namespace {
 
 using namespace dyna;
-using namespace dyna::bench;
 using namespace std::chrono_literals;
 
-struct RampOutcome {
-  std::vector<wl::LevelResult> levels;
-  double peak = 0.0;
-};
-
-RampOutcome run_ramp(bool dynatune, Duration level_duration, double max_rps,
-                     std::uint64_t seed) {
-  cluster::ClusterConfig cfg = dynatune ? cluster::make_dynatune_config(5, seed)
-                                        : cluster::make_raft_config(5, seed);
-  net::LinkCondition link;
-  link.rtt = 100ms;
-  link.jitter = 1ms;
-  cfg.links = net::ConditionSchedule::constant(link);
+scenario::ScenarioSpec fig5_spec(bool dynatune, Duration level_duration, double max_rps,
+                                 std::uint64_t seed) {
+  scenario::ScenarioSpec spec;
+  spec.name = "fig5";
+  spec.variant = dynatune ? scenario::Variant::Dynatune : scenario::Variant::Raft;
+  spec.servers = 5;
+  spec.seed = seed;
+  spec.topology = scenario::TopologySpec::constant(100ms, 1ms);
   // Calibrated once against the paper's baseline peak (13 678 req/s);
   // Dynatune pays the measured 6.4 % tuning overhead on the same budget.
-  cfg.request_service_time = dynatune ? std::chrono::nanoseconds(77'800)
-                                      : std::chrono::nanoseconds(73'100);
-  cfg.durable_log = false;  // no crash/recovery in this experiment
-  cluster::Cluster c(std::move(cfg));
-  c.await_leader(30s);
-  c.sim().run_for(5s);  // let Dynatune warm up before offering load
-
-  kv::KvClient client(c.sim(), c.network(), c.server_ids(), c.fork_rng(0xC11E47));
+  spec.request_service_time = dynatune ? std::chrono::nanoseconds(77'800)
+                                       : std::chrono::nanoseconds(73'100);
+  spec.durable_log = false;  // no crash/recovery in this experiment
+  spec.warmup = 5s;          // let Dynatune warm up before offering load
 
   wl::RampConfig ramp;
   ramp.start_rps = 1000;
@@ -55,12 +46,8 @@ RampOutcome run_ramp(bool dynatune, Duration level_duration, double max_rps,
   ramp.max_rps = max_rps;
   ramp.level_duration = level_duration;
   ramp.value_bytes = 16;
-
-  wl::OpenLoopRamp runner(c, client, ramp, c.fork_rng(0x10AD));
-  RampOutcome out;
-  out.levels = runner.run();
-  out.peak = wl::OpenLoopRamp::peak_throughput(out.levels);
-  return out;
+  spec.workload = scenario::WorkloadPlan::open_loop_ramp(ramp);
+  return spec;
 }
 
 }  // namespace
@@ -77,8 +64,10 @@ int main(int argc, char** argv) {
   std::printf("level duration: %.0f s (paper: 10 s), ramp to %.0f req/s\n",
               to_sec(Duration(level_sec)), max_rps);
 
-  const RampOutcome raft = run_ramp(false, level_sec, max_rps, seed);
-  const RampOutcome dynatune = run_ramp(true, level_sec, max_rps, seed + 1);
+  const scenario::ScenarioResult raft =
+      scenario::ScenarioRunner::run(fig5_spec(false, level_sec, max_rps, seed));
+  const scenario::ScenarioResult dynatune =
+      scenario::ScenarioRunner::run(fig5_spec(true, level_sec, max_rps, seed + 1));
 
   metrics::Table t({"offered (req/s)", "Raft tput", "Raft lat (ms)", "Dynatune tput",
                     "Dynatune lat (ms)"});
@@ -91,9 +80,18 @@ int main(int argc, char** argv) {
   }
   t.print();
 
-  const double drop = 100.0 * (1.0 - dynatune.peak / raft.peak);
-  std::printf("\npeak throughput: Raft %.0f req/s, Dynatune %.0f req/s (-%.1f%%)\n", raft.peak,
-              dynatune.peak, drop);
+  const double raft_peak = wl::OpenLoopRamp::peak_throughput(raft.levels);
+  const double dyna_peak = wl::OpenLoopRamp::peak_throughput(dynatune.levels);
+  const double drop = 100.0 * (1.0 - dyna_peak / raft_peak);
+  std::printf("\npeak throughput: Raft %.0f req/s, Dynatune %.0f req/s (-%.1f%%)\n", raft_peak,
+              dyna_peak, drop);
   std::printf("paper:           Raft 13678 req/s, Dynatune 12800 req/s (-6.4%%)\n");
+
+  if (const auto csv_path = cli.get("csv")) {
+    scenario::CsvSink csv(*csv_path, scenario::CsvSection::Levels);
+    csv.consume(raft);
+    csv.consume(dynatune);
+    std::printf("wrote %s\n", csv_path->c_str());
+  }
   return 0;
 }

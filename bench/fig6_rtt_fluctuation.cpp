@@ -14,96 +14,81 @@
 // Dynatune's radical-pattern false detections are absorbed by pre-vote.
 //
 // Usage: fig6_rtt_fluctuation [--pattern=gradual|radical|both] [--seed=S]
-//        [--hold=SECONDS] (gradual per-step hold; paper: 60)
+//        [--hold=SECONDS] (gradual per-step hold; paper: 60) [--csv=FILE]
+#include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 
-#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/sink.hpp"
 
 namespace {
 
 using namespace dyna;
-using namespace dyna::bench;
+using namespace std::chrono_literals;
 
-struct VariantTimeline {
-  std::string name;
-  std::vector<cluster::TimelinePoint> points;
-  std::size_t elections = 0;
-  std::size_t timeouts = 0;
-  double ots_seconds = 0.0;
-};
-
-cluster::ClusterConfig variant_config(const std::string& variant, std::uint64_t seed) {
-  if (variant == "Dynatune") return cluster::make_dynatune_config(5, seed);
-  if (variant == "Raft-Low") return cluster::make_raft_low_config(5, seed);
-  return cluster::make_raft_config(5, seed);
-}
-
-VariantTimeline run_timeline(const std::string& variant, const net::ConditionSchedule& schedule,
-                             Duration duration, std::uint64_t seed) {
-  cluster::ClusterConfig cfg = variant_config(variant, seed);
-  cfg.links = schedule;
-  cfg.transport.stall = testbed_stalls();
-  cluster::Cluster c(std::move(cfg));
-
-  VariantTimeline out;
-  out.name = variant;
-  c.await_leader(std::chrono::seconds(30));
-
-  cluster::TimelineOptions opt;
-  opt.duration = duration;
-  opt.sample_every = std::chrono::seconds(1);
-  opt.kth = 3;
-  out.points = cluster::run_randomized_timeline(c, opt);
-
-  for (const auto& p : out.points) {
-    if (p.ots) out.ots_seconds += 1.0;
-  }
-  out.elections = c.probe().elections_started_in(kSimEpoch, c.sim().now());
-  out.timeouts = c.probe().timeouts().size();
-  return out;
-}
-
-void print_timeline(const VariantTimeline& v, Duration sample_print_every) {
-  std::printf("\n--- %s: randomizedTimeout(3rd smallest)/RTT/OTS per %.0fs ---\n", v.name.c_str(),
-              to_sec(sample_print_every));
-  std::printf("%8s %12s %8s %4s\n", "t(s)", "rand(ms)", "rtt(ms)", "ots");
-  const auto stride = static_cast<std::size_t>(std::max(1.0, to_sec(sample_print_every)));
-  for (std::size_t i = 0; i < v.points.size(); i += stride) {
-    const auto& p = v.points[i];
-    std::printf("%8.0f %12.0f %8.0f %4s\n", p.t_sec, p.randomized_kth_ms, p.rtt_ms,
-                p.ots ? "OTS" : "");
-  }
-  std::printf("%s summary: OTS total %.0f s, elections started: %zu, timer expiries: %zu\n",
-              v.name.c_str(), v.ots_seconds, v.elections, v.timeouts);
-}
-
-void run_pattern(const std::string& pattern, std::uint64_t seed, Duration hold) {
-  using namespace std::chrono_literals;
+scenario::ScenarioSpec fig6_spec(const std::string& pattern, scenario::Variant variant,
+                                 std::uint64_t seed, Duration hold) {
   net::LinkCondition base;
   base.jitter = 2ms;
 
-  net::ConditionSchedule schedule = net::ConditionSchedule::constant(base);
+  scenario::ScenarioSpec spec;
+  spec.variant = variant;
+  spec.servers = 5;
+  spec.seed = seed;
+  spec.transport.stall = scenario::testbed_stalls();
+
   Duration duration{};
   if (pattern == "gradual") {
     // 50 -> 200 -> 50 in 10 ms steps, `hold` per step (paper: one minute).
-    schedule = net::ConditionSchedule::rtt_ramp_up_down(base, 50ms, 200ms, 10ms, hold);
+    spec.name = "fig6a-gradual";
+    spec.topology.schedule =
+        net::ConditionSchedule::rtt_ramp_up_down(base, 50ms, 200ms, 10ms, hold);
     duration = hold * 31 + 30s;  // 16 up + 15 down steps + tail
+  } else {
+    // 50 ms for 60 s, 500 ms spike for 60 s, back to 50 ms.
+    spec.name = "fig6b-radical";
+    spec.topology.schedule =
+        net::ConditionSchedule::rtt_spike(base, 50ms, 500ms, kSimEpoch + 60s, 60s);
+    duration = 210s;
+  }
+  spec.samples = scenario::SamplePlan::every(1s, duration, /*kth=*/3);
+  return spec;
+}
+
+void print_timeline(const scenario::ScenarioResult& v, Duration sample_print_every) {
+  std::printf("\n--- %s: randomizedTimeout(3rd smallest)/RTT/OTS per %.0fs ---\n",
+              v.variant.c_str(), to_sec(sample_print_every));
+  std::printf("%8s %12s %8s %4s\n", "t(s)", "rand(ms)", "rtt(ms)", "ots");
+  const auto stride = static_cast<std::size_t>(std::max(1.0, to_sec(sample_print_every)));
+  for (std::size_t i = 0; i < v.samples.size(); i += stride) {
+    const auto& p = v.samples[i];
+    std::printf("%8.0f %12.0f %8.0f %4s\n", p.t_sec, p.randomized_kth_ms, p.rtt_ms,
+                p.available ? "" : "OTS");
+  }
+  std::printf("%s summary: OTS total %.0f s, elections started: %zu, timer expiries: %zu\n",
+              v.variant.c_str(), v.ots_seconds, v.elections, v.timer_expiries);
+}
+
+void run_pattern(const std::string& pattern, std::uint64_t seed, Duration hold,
+                 scenario::CsvSink* csv) {
+  if (pattern == "gradual") {
     metrics::banner("Fig 6a: gradual RTT fluctuation 50->200->50 ms (step 10 ms, hold " +
                     std::to_string(hold.count() / 1'000'000'000) + " s)");
   } else {
-    // 50 ms for 60 s, 500 ms spike for 60 s, back to 50 ms.
-    schedule = net::ConditionSchedule::rtt_spike(base, 50ms, 500ms,
-                                                 kSimEpoch + 60s, 60s);
-    duration = 210s;
     metrics::banner("Fig 6b: radical RTT fluctuation 50 -> 500 -> 50 ms (60 s spike)");
   }
 
   const Duration print_every = pattern == "gradual" ? std::chrono::seconds(30)
                                                     : std::chrono::seconds(5);
-  for (const std::string variant : {"Dynatune", "Raft", "Raft-Low"}) {
-    const VariantTimeline v = run_timeline(variant, schedule, duration, seed);
+  for (const scenario::Variant variant :
+       {scenario::Variant::Dynatune, scenario::Variant::Raft, scenario::Variant::RaftLow}) {
+    const scenario::ScenarioResult v =
+        scenario::ScenarioRunner::run(fig6_spec(pattern, variant, seed, hold));
     print_timeline(v, print_every);
+    if (csv != nullptr) csv->consume(v);
   }
 }
 
@@ -117,7 +102,14 @@ int main(int argc, char** argv) {
   // DYNA_BENCH_SCALE=3 (or --hold=60) restores paper scale.
   const auto hold = std::chrono::seconds(cli.scaled(cli.get_or("hold", std::int64_t{20})));
 
-  if (pattern == "gradual" || pattern == "both") run_pattern("gradual", seed, hold);
-  if (pattern == "radical" || pattern == "both") run_pattern("radical", seed, hold);
+  std::unique_ptr<scenario::CsvSink> csv;
+  const auto csv_path = cli.get("csv");
+  if (csv_path) {
+    csv = std::make_unique<scenario::CsvSink>(*csv_path, scenario::CsvSection::Samples);
+  }
+
+  if (pattern == "gradual" || pattern == "both") run_pattern("gradual", seed, hold, csv.get());
+  if (pattern == "radical" || pattern == "both") run_pattern("radical", seed, hold, csv.get());
+  if (csv_path) std::printf("wrote %s\n", csv_path->c_str());
   return 0;
 }

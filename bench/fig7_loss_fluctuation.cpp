@@ -14,102 +14,70 @@
 // core), with Dynatune peaking only under high loss.
 //
 // Usage: fig7_loss_fluctuation [--hold=SECONDS] [--servers=5,17,65] [--seed=S]
+//        [--csv=FILE]
+#include <algorithm>
 #include <cstdio>
-#include <sstream>
-#include <string>
+#include <memory>
 #include <vector>
 
-#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/sink.hpp"
 
 namespace {
 
 using namespace dyna;
-using namespace dyna::bench;
+using namespace std::chrono_literals;
 
-struct LossRunResult {
-  std::string variant;
-  std::size_t servers = 0;
-  metrics::TimeSeries heartbeat_ms{"h"};
-  metrics::TimeSeries leader_cpu{"leader-cpu"};
-  metrics::TimeSeries follower_cpu{"follower-cpu"};
-  metrics::TimeSeries loss{"loss"};
-  std::size_t elections = 0;
-  std::size_t expiries = 0;
-};
-
-LossRunResult run_loss_experiment(bool fixk, std::size_t servers, Duration hold,
-                                  std::uint64_t seed) {
-  using namespace std::chrono_literals;
-
+scenario::ScenarioSpec fig7_spec(bool fixk, std::size_t servers, Duration hold,
+                                 std::uint64_t seed) {
   net::LinkCondition base;
   base.rtt = 200ms;
   base.jitter = 2ms;
 
-  cluster::ClusterConfig cfg = fixk ? cluster::make_fixk_config(servers, seed)
-                                    : cluster::make_dynatune_config(servers, seed);
-  cfg.links = net::ConditionSchedule::loss_ramp_up_down(base, 0.0, 0.30, 0.05, hold);
+  scenario::ScenarioSpec spec;
+  spec.name = "fig7";
+  spec.variant = fixk ? scenario::Variant::FixK : scenario::Variant::Dynatune;
+  spec.fix_k = 10;
+  spec.servers = servers;
+  spec.seed = seed;
+  spec.topology.schedule = net::ConditionSchedule::loss_ramp_up_down(base, 0.0, 0.30, 0.05, hold);
   // The N=65 run used a dedicated m6a.48xlarge (no CPU oversubscription):
   // no stall process here, only the perf model.
   cluster::CostModel cost;
   cost.charge_tuning = true;  // both variants carry the measurement plumbing
-  cfg.perf_cost = cost;
-  cfg.perf_bin = 5s;
-
-  cluster::Cluster c(std::move(cfg));
-  c.await_leader(30s);
-  const TimePoint experiment_start = c.sim().now();
-
-  LossRunResult out;
-  out.variant = fixk ? "Fix-K" : "Dynatune";
-  out.servers = servers;
-
-  const Duration total = hold * 13 + 10s;  // 0..30..0 in 5% steps = 13 levels
-  const Duration sample = 5s;
-  const auto steps = static_cast<std::size_t>(total.count() / sample.count());
-  for (std::size_t i = 0; i < steps; ++i) {
-    c.sim().run_for(sample);
-    const TimePoint now = c.sim().now();
-    const NodeId leader = c.current_leader();
-    if (leader == kNoNode) continue;
-
-    // Leader's mean heartbeat interval across followers.
-    double h_sum = 0.0;
-    int h_n = 0;
-    for (const NodeId id : c.server_ids()) {
-      if (id == leader) continue;
-      if (auto* n = c.node_if_alive(leader); n != nullptr) {
-        h_sum += to_ms(n->effective_heartbeat_interval(id));
-        ++h_n;
-      }
-    }
-    if (h_n > 0) out.heartbeat_ms.push(now, h_sum / h_n);
-    out.loss.push(now, c.network().condition(0, 1).loss * 100.0);
-
-    const NodeId follower = leader == 0 ? 1 : 0;
-    out.leader_cpu.push(now, c.perf()->cpu_percent_at(leader, now - sample));
-    out.follower_cpu.push(now, c.perf()->cpu_percent_at(follower, now - sample));
-  }
-  out.elections = c.probe().elections_started_in(experiment_start, c.sim().now());
-  out.expiries = c.probe().timeouts().size();
-  return out;
+  spec.perf_cost = cost;
+  spec.perf_bin = 5s;
+  // 0..30..0 in 5% steps = 13 levels.
+  spec.samples = scenario::SamplePlan::every(5s, hold * 13 + 10s, /*kth=*/3);
+  return spec;
 }
 
-void print_run(const LossRunResult& r, Duration print_every) {
+void print_run(const scenario::ScenarioResult& r, Duration print_every) {
   std::printf("\n--- %s, N=%zu: heartbeat interval & CPU per %.0fs ---\n", r.variant.c_str(),
               r.servers, to_sec(print_every));
   std::printf("%8s %9s %8s %12s %14s\n", "t(s)", "loss(%)", "h(ms)", "leaderCPU(%)",
               "followerCPU(%)");
   const auto stride =
       static_cast<std::size_t>(std::max(1.0, to_sec(print_every) / 5.0));
-  const auto& hp = r.heartbeat_ms.points();
-  for (std::size_t i = 0; i < hp.size(); i += stride) {
-    std::printf("%8.0f %9.1f %8.0f %12.1f %14.2f\n", hp[i].t_sec, r.loss.points()[i].value,
-                hp[i].value, r.leader_cpu.points()[i].value, r.follower_cpu.points()[i].value);
+  for (std::size_t i = 0; i < r.samples.size(); i += stride) {
+    const auto& p = r.samples[i];
+    if (p.h_mean_ms < 0.0) continue;  // leaderless bin
+    std::printf("%8.0f %9.1f %8.0f %12.1f %14.2f\n", p.t_sec, p.loss_pct, p.h_mean_ms,
+                p.leader_cpu_pct, p.follower_cpu_pct);
+  }
+  double cpu_sum = 0.0, cpu_max = 0.0;
+  std::size_t cpu_n = 0;
+  for (const auto& p : r.samples) {
+    if (p.leader_cpu_pct < 0.0) continue;
+    cpu_sum += p.leader_cpu_pct;
+    cpu_max = std::max(cpu_max, p.leader_cpu_pct);
+    ++cpu_n;
   }
   std::printf("%s N=%zu summary: elections=%zu (paper: 0), timer expiries=%zu, "
               "leader CPU mean=%.1f%% max=%.1f%%\n",
-              r.variant.c_str(), r.servers, r.elections, r.expiries,
-              r.leader_cpu.mean_in(0, 1e18), r.leader_cpu.max_value());
+              r.variant.c_str(), r.servers, r.elections, r.timer_expiries,
+              cpu_n > 0 ? cpu_sum / static_cast<double>(cpu_n) : 0.0, cpu_max);
 }
 
 }  // namespace
@@ -119,22 +87,25 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_or("seed", std::int64_t{1}));
   // Default hold 30 s per loss level for a quick run; paper used 180 s.
   const auto hold = std::chrono::seconds(cli.scaled(cli.get_or("hold", std::int64_t{30})));
-  const std::string servers_arg = cli.get_or("servers", std::string("5,17,65"));
-
-  std::vector<std::size_t> server_counts;
-  std::stringstream ss(servers_arg);
-  for (std::string tok; std::getline(ss, tok, ',');) {
-    server_counts.push_back(static_cast<std::size_t>(std::stoul(tok)));
-  }
+  const std::vector<std::size_t> server_counts = cli.get_sizes("servers", {5, 17, 65});
 
   metrics::banner("Fig 7: packet-loss fluctuation 0->30%->0 at RTT 200 ms, Dynatune vs Fix-K");
   std::printf("hold per loss level: %.0f s (paper: 180 s)\n", to_sec(Duration(hold)));
 
+  std::unique_ptr<scenario::CsvSink> csv;
+  const auto csv_path = cli.get("csv");
+  if (csv_path) {
+    csv = std::make_unique<scenario::CsvSink>(*csv_path, scenario::CsvSection::Samples);
+  }
+
   for (const std::size_t n : server_counts) {
     for (const bool fixk : {false, true}) {
-      const LossRunResult r = run_loss_experiment(fixk, n, hold, seed);
+      const scenario::ScenarioResult r =
+          scenario::ScenarioRunner::run(fig7_spec(fixk, n, hold, seed));
       print_run(r, std::chrono::seconds(std::max<std::int64_t>(30, hold.count() / 2)));
+      if (csv != nullptr) csv->consume(r);
     }
   }
+  if (csv_path) std::printf("wrote %s\n", csv_path->c_str());
   return 0;
 }

@@ -9,52 +9,42 @@
 // Paper reference: detection 1137 -> 213 ms (-81 %), OTS 1718 -> 1145 ms
 // (-33 %).
 //
-// Usage: fig8_geo [--kills=N] [--seed=S] [--skew-ms=S]
+// Usage: fig8_geo [--kills=N] [--seed=S] [--skew-ms=S] [--csv=FILE]
 #include <cstdio>
 
-#include "bench_common.hpp"
-#include "cluster/topology.hpp"
-#include "parallel/trial_runner.hpp"
+#include "common/cli.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/sink.hpp"
 
 namespace {
 
 using namespace dyna;
-using namespace dyna::bench;
 using namespace std::chrono_literals;
 
-std::vector<cluster::FailoverSample> run_variant(bool dynatune, std::size_t kills,
-                                                 std::uint64_t seed, double skew_ms,
-                                                 unsigned threads) {
-  const std::size_t kills_per_trial = 25;
-  const std::size_t trials = (kills + kills_per_trial - 1) / kills_per_trial;
+constexpr std::size_t kKillsPerTrial = 25;
 
-  auto fn = [&](std::size_t /*trial*/, std::uint64_t trial_seed) {
-    cluster::ClusterConfig cfg = dynatune ? cluster::make_dynatune_config(5, trial_seed)
-                                          : cluster::make_raft_config(5, trial_seed);
-    // Dedicated m5.large instances: no CPU oversubscription, so only a mild
-    // stall process (NIC interrupts, Go GC) — far gentler than the
-    // single-machine testbed.
-    cfg.transport.stall.mean_interval = 10s;
-    cfg.transport.stall.duration_median_ms = 5.0;
-    cfg.transport.stall.duration_sigma = 1.0;
-    cluster::Cluster c(std::move(cfg));
-    cluster::WanTopology::aws_five_regions().apply(c.network());
+scenario::SweepSpec fig8_sweep(scenario::Variant variant, std::size_t kills,
+                               std::uint64_t seed, double skew_ms, unsigned threads) {
+  scenario::ScenarioSpec base;
+  base.name = "fig8";
+  base.variant = variant;
+  base.servers = 5;
+  base.topology.wan = cluster::WanTopology::aws_five_regions();
+  // Dedicated m5.large instances: no CPU oversubscription, so only a mild
+  // stall process (NIC interrupts, Go GC) — far gentler than the
+  // single-machine testbed.
+  base.transport.stall.mean_interval = 10s;
+  base.transport.stall.duration_median_ms = 5.0;
+  base.transport.stall.duration_sigma = 1.0;
+  base.faults = scenario::FaultPlan::leader_kills(kKillsPerTrial, 12s);
+  if (skew_ms > 0.0) base.faults.clock_skew_ms = skew_ms;
 
-    cluster::FailoverOptions opt;
-    opt.kills = kills_per_trial;
-    opt.settle = 12s;
-    if (skew_ms > 0.0) opt.clock_skew_ms = skew_ms;
-    return cluster::FailoverExperiment::run(c, opt);
-  };
-
-  auto per_trial = par::run_trials<std::vector<cluster::FailoverSample>>(trials, seed, fn, threads);
-  std::vector<cluster::FailoverSample> all;
-  for (auto& t : per_trial) {
-    for (auto& s : t) {
-      if (all.size() < kills) all.push_back(s);
-    }
-  }
-  return all;
+  scenario::SweepSpec sweep;
+  sweep.base = std::move(base);
+  sweep.seeds = (kills + kKillsPerTrial - 1) / kKillsPerTrial;
+  sweep.master_seed = seed;
+  sweep.threads = threads;
+  return sweep;
 }
 
 }  // namespace
@@ -69,11 +59,18 @@ int main(int argc, char** argv) {
   metrics::banner("Fig 8: AWS 5-region geo-replication (Tokyo/London/California/Sydney/Sao Paulo)");
   std::printf("kills per variant: %zu, NTP clock-skew sigma: %.0f ms\n", kills, skew_ms);
 
-  const auto raft = run_variant(false, kills, seed, skew_ms, threads);
-  const auto dynatune = run_variant(true, kills, seed + 1, skew_ms, threads);
+  auto raft_results = scenario::ScenarioRunner::run_sweep(
+      fig8_sweep(scenario::Variant::Raft, kills, seed, skew_ms, threads));
+  auto dyna_results = scenario::ScenarioRunner::run_sweep(
+      fig8_sweep(scenario::Variant::Dynatune, kills, seed + 1, skew_ms, threads));
+  scenario::trim_failovers(raft_results, kills);
+  scenario::trim_failovers(dyna_results, kills);
 
-  const FailoverStats r = summarize(raft);
-  const FailoverStats d = summarize(dynatune);
+  const auto raft = scenario::collect_failovers(raft_results);
+  const auto dynatune = scenario::collect_failovers(dyna_results);
+
+  const scenario::FailoverStats r = scenario::summarize_failovers(raft);
+  const scenario::FailoverStats d = scenario::summarize_failovers(dynatune);
 
   metrics::Table t({"metric", "Raft", "Dynatune", "reduction", "paper Raft", "paper Dynatune",
                     "paper reduction"});
@@ -87,9 +84,14 @@ int main(int argc, char** argv) {
   t.print();
 
   std::printf("\n");
-  print_cdf("Raft detection", detection_samples(raft));
-  print_cdf("Dynatune detection", detection_samples(dynatune));
-  print_cdf("Raft OTS", ots_samples(raft));
-  print_cdf("Dynatune OTS", ots_samples(dynatune));
+  scenario::print_failover_cdfs("Raft", raft);
+  scenario::print_failover_cdfs("Dynatune", dynatune);
+
+  if (const auto csv_path = cli.get("csv")) {
+    scenario::CsvSink csv(*csv_path, scenario::CsvSection::Failover);
+    csv.consume_all(raft_results);
+    csv.consume_all(dyna_results);
+    std::printf("wrote %s\n", csv_path->c_str());
+  }
   return 0;
 }

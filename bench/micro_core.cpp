@@ -37,6 +37,19 @@ void BM_RttEstimatorStats(benchmark::State& state) {
 }
 BENCHMARK(BM_RttEstimatorStats)->Arg(10)->Arg(100)->Arg(1000);
 
+void BM_SlidingWindowAddStats(benchmark::State& state) {
+  // The Dynatune per-heartbeat pattern: record one sample, read mean and
+  // stddev. Incremental stats keep this O(1) regardless of window size.
+  SlidingWindow w(static_cast<std::size_t>(state.range(0)));
+  Rng rng(1);
+  for (auto _ : state) {
+    w.add(100.0 + rng.normal(0.0, 5.0));
+    benchmark::DoNotOptimize(w.mean());
+    benchmark::DoNotOptimize(w.stddev());
+  }
+}
+BENCHMARK(BM_SlidingWindowAddStats)->Arg(10)->Arg(100)->Arg(1000);
+
 void BM_LossEstimatorRecord(benchmark::State& state) {
   dt::LossEstimator est(1000);
   std::uint64_t id = 0;

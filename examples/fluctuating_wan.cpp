@@ -1,59 +1,43 @@
 // Live view of Dynatune adapting to a fluctuating WAN: the RTT ramps up and
-// back down while we print the tuned parameters every few seconds — the
-// textual version of the paper's Fig 6a.
+// back down while the scenario's sampling plan records the tuned parameters
+// every few seconds — the textual version of the paper's Fig 6a.
 //
 // Run: ./fluctuating_wan
 #include <cstdio>
 
-#include "cluster/cluster.hpp"
-#include "cluster/experiment.hpp"
+#include "scenario/runner.hpp"
 
 using namespace dyna;
 using namespace std::chrono_literals;
 
 int main() {
-  cluster::ClusterConfig cfg = cluster::make_dynatune_config(5, 11);
   net::LinkCondition base;
   base.jitter = 2ms;
-  // 40 -> 200 -> 40 ms in 20 ms steps, 8 s per step (compressed Fig 6a).
-  cfg.links = net::ConditionSchedule::rtt_ramp_up_down(base, 40ms, 200ms, 20ms, 8s);
-  cluster::Cluster c(std::move(cfg));
 
-  if (!c.await_leader(30s)) {
+  scenario::ScenarioSpec spec;
+  spec.name = "fluctuating-wan";
+  spec.variant = scenario::Variant::Dynatune;
+  spec.servers = 5;
+  spec.seed = 11;
+  // 40 -> 200 -> 40 ms in 20 ms steps, 8 s per step (compressed Fig 6a).
+  spec.topology.schedule = net::ConditionSchedule::rtt_ramp_up_down(base, 40ms, 200ms, 20ms, 8s);
+  spec.samples = scenario::SamplePlan::every(4s, 160s, /*kth=*/3);
+
+  const scenario::ScenarioResult r = scenario::ScenarioRunner::run(spec);
+  if (!r.leader_elected) {
     std::printf("no leader - aborting\n");
     return 1;
   }
 
   std::printf("%8s %8s %14s %16s %12s %6s\n", "t(s)", "rtt(ms)", "median Et(ms)",
               "3rd-rand(ms)", "leader h(ms)", "avail");
-  for (int tick = 0; tick < 40; ++tick) {
-    c.sim().run_for(4s);
-    const NodeId leader = c.current_leader();
-
-    // Median tuned election timeout across followers.
-    std::vector<double> ets;
-    double h_mean = 0.0;
-    int h_n = 0;
-    for (const NodeId id : c.server_ids()) {
-      if (id == leader) continue;
-      ets.push_back(to_ms(c.node(id).policy().election_timeout()));
-      if (leader != kNoNode) {
-        h_mean += to_ms(c.node(leader).effective_heartbeat_interval(id));
-        ++h_n;
-      }
-    }
-    std::sort(ets.begin(), ets.end());
-    const double et_median = ets.empty() ? 0.0 : ets[ets.size() / 2];
-
-    std::printf("%8.0f %8.0f %14.1f %16.1f %12.1f %6s\n", to_sec(c.sim().now()),
-                to_ms(c.network().condition(0, 1).rtt), et_median,
-                to_ms(c.randomized_timeout_kth(3)), h_n > 0 ? h_mean / h_n : 0.0,
-                cluster::service_available(c) ? "yes" : "OTS");
+  for (const auto& p : r.samples) {
+    std::printf("%8.0f %8.0f %14.1f %16.1f %12.1f %6s\n", p.t_sec, p.rtt_ms, p.et_median_ms,
+                p.randomized_kth_ms, p.h_mean_ms, p.available ? "yes" : "OTS");
   }
 
-  std::printf("\ntimer expiries during the run: %zu, elections: %zu\n",
-              c.probe().timeouts().size(),
-              c.probe().elections_started_in(kSimEpoch, c.sim().now()));
+  std::printf("\ntimer expiries during the run: %zu, elections: %zu\n", r.timer_expiries,
+              r.elections);
   std::printf("(Dynatune follows the RTT with its tuned Et; pre-vote absorbs any\n"
               " false detections, so availability holds throughout the ramp.)\n");
   return 0;

@@ -6,51 +6,42 @@
 // Run: ./geo_replication [--kills=N]
 #include <cstdio>
 
-#include "cluster/cluster.hpp"
-#include "cluster/experiment.hpp"
-#include "cluster/topology.hpp"
 #include "common/cli.hpp"
-#include "common/stats.hpp"
+#include "scenario/runner.hpp"
 
 using namespace dyna;
 using namespace std::chrono_literals;
 
 namespace {
 
-double run_failovers(bool dynatune, std::size_t kills, bool print_paths) {
-  cluster::ClusterConfig cfg = dynatune ? cluster::make_dynatune_config(5, 7)
-                                        : cluster::make_raft_config(5, 7);
-  cluster::Cluster c(std::move(cfg));
-  const auto topo = cluster::WanTopology::aws_five_regions();
-  topo.apply(c.network());
+scenario::ScenarioResult run_failovers(bool dynatune, std::size_t kills) {
+  scenario::ScenarioSpec spec;
+  spec.name = "geo-replication";
+  spec.variant = dynatune ? scenario::Variant::Dynatune : scenario::Variant::Raft;
+  spec.servers = 5;
+  spec.seed = 7;
+  spec.topology.wan = cluster::WanTopology::aws_five_regions();
+  spec.await_leader = 60s;
+  spec.warmup = 12s;
+  spec.sample_paths = true;  // per-follower RTT / Et / h after warm-up
+  spec.faults = scenario::FaultPlan::leader_kills(kills, 12s);
+  spec.faults.clock_skew_ms = 15.0;  // NTP-grade clocks across regions
+  return scenario::ScenarioRunner::run(spec);
+}
 
-  if (!c.await_leader(60s)) return -1.0;
-  c.sim().run_for(12s);
-
-  if (print_paths) {
-    const NodeId leader = c.current_leader();
-    std::printf("\n%s leader: %s\n", dynatune ? "Dynatune" : "Raft",
-                topo.region_names[static_cast<std::size_t>(leader)].c_str());
-    for (const NodeId id : c.server_ids()) {
-      if (id == leader) continue;
-      std::printf("  %-11s rtt=%3.0f ms  Et=%6.1f ms  h=%6.1f ms\n",
-                  topo.region_names[static_cast<std::size_t>(id)].c_str(),
-                  to_ms(c.network().condition(leader, id).rtt),
-                  to_ms(c.node(id).policy().election_timeout()),
-                  to_ms(c.node(leader).effective_heartbeat_interval(id)));
-    }
+void print_paths(const scenario::ScenarioResult& r) {
+  const auto& names = cluster::WanTopology::aws_five_regions().region_names;
+  if (r.paths_leader == kNoNode) return;
+  std::printf("\n%s leader: %s\n", r.variant.c_str(),
+              names[static_cast<std::size_t>(r.paths_leader)].c_str());
+  for (const auto& p : r.paths) {
+    std::printf("  %-11s rtt=%3.0f ms  Et=%6.1f ms  h=%6.1f ms\n",
+                names[static_cast<std::size_t>(p.follower)].c_str(), p.rtt_ms, p.et_ms, p.h_ms);
   }
+}
 
-  cluster::FailoverOptions opt;
-  opt.kills = kills;
-  opt.settle = 12s;
-  opt.clock_skew_ms = 15.0;  // NTP-grade clocks across regions
-  const auto samples = cluster::FailoverExperiment::run(c, opt);
-  Welford ots;
-  for (const auto& s : samples) {
-    if (s.ok) ots.add(s.ots_ms);
-  }
-  return ots.mean();
+double mean_ots(const scenario::ScenarioResult& r) {
+  return scenario::summarize_failovers(r.failovers).ots.mean;
 }
 
 }  // namespace
@@ -60,9 +51,13 @@ int main(int argc, char** argv) {
   const auto kills = static_cast<std::size_t>(cli.scaled(cli.get_or("kills", std::int64_t{10})));
 
   std::printf("Geo-replicated KV store across Tokyo / London / California / Sydney / Sao Paulo\n");
-  const double raft_ots = run_failovers(false, kills, true);
-  const double dyna_ots = run_failovers(true, kills, true);
+  const scenario::ScenarioResult raft = run_failovers(false, kills);
+  print_paths(raft);
+  const scenario::ScenarioResult dyna = run_failovers(true, kills);
+  print_paths(dyna);
 
+  const double raft_ots = mean_ots(raft);
+  const double dyna_ots = mean_ots(dyna);
   std::printf("\nmean out-of-service time over %zu leader failures:\n", kills);
   std::printf("  Raft     : %7.0f ms\n", raft_ots);
   std::printf("  Dynatune : %7.0f ms  (%.0f%% lower)\n", dyna_ots,

@@ -6,10 +6,8 @@
 // Run: ./loss_storm [--servers=N]
 #include <cstdio>
 
-#include "cluster/cluster.hpp"
-#include "cluster/experiment.hpp"
 #include "common/cli.hpp"
-#include "dynatune/policy.hpp"
+#include "scenario/runner.hpp"
 
 using namespace dyna;
 using namespace std::chrono_literals;
@@ -18,56 +16,39 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const auto servers = static_cast<std::size_t>(cli.get_or("servers", std::int64_t{5}));
 
-  cluster::ClusterConfig cfg = cluster::make_dynatune_config(servers, 5);
   net::LinkCondition base;
   base.rtt = 200ms;
   base.jitter = 2ms;
-  cfg.links = net::ConditionSchedule::loss_ramp_up_down(base, 0.0, 0.30, 0.10, 25s);
+
+  scenario::ScenarioSpec spec;
+  spec.name = "loss-storm";
+  spec.variant = scenario::Variant::Dynatune;
+  spec.servers = servers;
+  spec.seed = 5;
+  spec.topology.schedule = net::ConditionSchedule::loss_ramp_up_down(base, 0.0, 0.30, 0.10, 25s);
   cluster::CostModel cost;
   cost.charge_tuning = true;
-  cfg.perf_cost = cost;
-  cluster::Cluster c(std::move(cfg));
+  spec.perf_cost = cost;
+  spec.samples = scenario::SamplePlan::every(5s, 175s, /*kth=*/3);
 
-  if (!c.await_leader(30s)) {
+  const scenario::ScenarioResult r = scenario::ScenarioRunner::run(spec);
+  if (!r.leader_elected) {
     std::printf("no leader - aborting\n");
     return 1;
   }
-  const TimePoint start = c.sim().now();
 
   std::printf("%zu servers, RTT 200 ms, loss ramps 0 -> 30%% -> 0\n\n", servers);
   std::printf("%8s %9s %8s %10s %14s %10s\n", "t(s)", "loss(%)", "K", "h(ms)", "hb/s(leader)",
               "cpu(%)");
-  std::uint64_t last_sent = 0;
-  for (int tick = 0; tick < 35; ++tick) {
-    c.sim().run_for(5s);
-    const NodeId leader = c.current_leader();
-    if (leader == kNoNode) continue;
-
-    // Average h and implied K across followers.
-    double h_mean = 0.0;
-    int n = 0;
-    for (const NodeId id : c.server_ids()) {
-      if (id == leader) continue;
-      h_mean += to_ms(c.node(leader).effective_heartbeat_interval(id));
-      ++n;
-    }
-    h_mean /= n;
-    double et_sample = 0.0;
-    for (const NodeId id : c.server_ids()) {
-      if (id == leader) continue;
-      et_sample = to_ms(c.node(id).policy().election_timeout());
-      break;
-    }
-    const std::uint64_t sent = c.network().traffic(leader).sent;
-    const double hb_rate = static_cast<double>(sent - last_sent) / 5.0;
-    last_sent = sent;
-
-    std::printf("%8.0f %9.1f %8.1f %10.1f %14.0f %10.1f\n", to_sec(c.sim().now()),
-                c.network().condition(0, 1).loss * 100.0, et_sample / h_mean, h_mean, hb_rate,
-                c.perf()->cpu_percent_at(leader, c.sim().now() - 5s));
+  for (const auto& p : r.samples) {
+    if (p.h_mean_ms <= 0.0) continue;  // leaderless bin
+    // Implied K = Et / h: how many heartbeats Dynatune spends per timeout to
+    // hold the delivery target at the current loss rate.
+    std::printf("%8.0f %9.1f %8.1f %10.1f %14.0f %10.1f\n", p.t_sec, p.loss_pct,
+                p.et_median_ms / p.h_mean_ms, p.h_mean_ms, p.hb_per_sec, p.leader_cpu_pct);
   }
 
   std::printf("\nelections during the storm: %zu (heartbeat redundancy kept detection quiet)\n",
-              c.probe().elections_started_in(start, c.sim().now()));
+              r.elections);
   return 0;
 }

@@ -176,6 +176,22 @@ void Cluster::restart(NodeId id) {
   build_node(id);
 }
 
+bool service_available(Cluster& cluster) {
+  raft::Term max_term = 0;
+  for (const NodeId id : cluster.server_ids()) {
+    if (auto* n = cluster.node_if_alive(id); n != nullptr && n->running()) {
+      max_term = std::max(max_term, n->term());
+    }
+  }
+  for (const NodeId id : cluster.server_ids()) {
+    if (auto* n = cluster.node_if_alive(id);
+        n != nullptr && n->running() && n->is_leader() && n->term() == max_term) {
+      return true;
+    }
+  }
+  return false;
+}
+
 // ---- Variant factories --------------------------------------------------------------
 
 ClusterConfig make_raft_config(std::size_t servers, std::uint64_t seed) {

@@ -119,6 +119,10 @@ class Cluster {
   std::vector<std::unique_ptr<ServiceQueue>> service_;
 };
 
+/// True when some live node leads at the cluster's maximum term — i.e. the
+/// service can commit. The complement is the paper's OTS shading.
+[[nodiscard]] bool service_available(Cluster& cluster);
+
 // ---- Variant factories (paper §IV-A settings) -----------------------------------
 
 /// Baseline "Raft": etcd defaults (Et 1000 ms, h 100 ms), static policy.

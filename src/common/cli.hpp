@@ -5,11 +5,14 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace dyna {
 
@@ -51,6 +54,42 @@ class Cli {
   [[nodiscard]] double get_or(const std::string& key, double def) const {
     const auto v = get(key);
     return v ? std::strtod(v->c_str(), nullptr) : def;
+  }
+
+  /// Parse a comma-separated unsigned integer list ("5,17,65"); `def` when
+  /// the flag is absent. A malformed list (empty token, non-digit characters,
+  /// trailing separator) aborts with a diagnostic instead of silently running
+  /// a truncated experiment.
+  [[nodiscard]] std::vector<std::size_t> get_sizes(const std::string& key,
+                                                   std::vector<std::size_t> def) const {
+    const auto v = get(key);
+    if (!v) return def;
+    constexpr std::uint64_t kMaxListEntry = 1'000'000;  // no experiment is bigger
+    std::vector<std::size_t> out;
+    std::string token;
+    std::stringstream ss(*v);
+    while (std::getline(ss, token, ',')) {
+      if (token.empty() || token.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr, "error: --%s=%s: bad list entry '%s' (expected digits)\n",
+                     key.c_str(), v->c_str(), token.c_str());
+        std::exit(2);
+      }
+      const std::uint64_t n =
+          token.size() <= 7 ? std::strtoull(token.c_str(), nullptr, 10) : kMaxListEntry + 1;
+      if (n == 0 || n > kMaxListEntry) {
+        std::fprintf(stderr, "error: --%s=%s: entry '%s' out of range [1, %llu]\n",
+                     key.c_str(), v->c_str(), token.c_str(),
+                     static_cast<unsigned long long>(kMaxListEntry));
+        std::exit(2);
+      }
+      out.push_back(static_cast<std::size_t>(n));
+    }
+    if (out.empty() || v->back() == ',') {
+      std::fprintf(stderr, "error: --%s=%s: expected a comma-separated integer list\n",
+                   key.c_str(), v->c_str());
+      std::exit(2);
+    }
+    return out;
   }
 
   [[nodiscard]] bool flag(const std::string& key) const {

@@ -3,6 +3,8 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/check.hpp"
@@ -65,5 +67,20 @@ class EmpiricalCdf {
  private:
   std::vector<double> sorted_;
 };
+
+/// Print a compact one-line CDF (the paper's Fig 4/8 presentation).
+inline void print_quantiles(const std::string& label, const std::vector<double>& samples_ms,
+                            std::FILE* out = stdout) {
+  EmpiricalCdf cdf(samples_ms);
+  if (cdf.empty()) {
+    std::fprintf(out, "%s: no samples\n", label.c_str());
+    return;
+  }
+  std::fprintf(out, "%s CDF (ms): ", label.c_str());
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    std::fprintf(out, "p%.0f=%.0f ", q * 100.0, cdf.quantile(q));
+  }
+  std::fprintf(out, "mean=%.0f n=%zu\n", cdf.mean(), cdf.count());
+}
 
 }  // namespace dyna::metrics

@@ -133,6 +133,33 @@ class ConditionSchedule {
     return ConditionSchedule(std::move(segs));
   }
 
+  /// Correlated loss bursts: the link is `base` except for `bursts` windows
+  /// of length `burst_len`, one every `period`, during which the loss rate
+  /// jumps to `burst_loss` (RTT/jitter unchanged). Loss on real paths is
+  /// bursty, not i.i.d. — a congested queue or a flapping route drops many
+  /// consecutive packets — and when installed as a default schedule the
+  /// bursts hit every link at the same instants, which is exactly the
+  /// correlated disturbance that defeats per-packet loss averaging.
+  [[nodiscard]] static ConditionSchedule loss_bursts(LinkCondition base, double burst_loss,
+                                                     Duration period, Duration burst_len,
+                                                     std::size_t bursts,
+                                                     TimePoint start = kSimEpoch) {
+    DYNA_EXPECTS(burst_loss >= 0.0 && burst_loss < 1.0);
+    DYNA_EXPECTS(bursts > 0);
+    DYNA_EXPECTS(burst_len > Duration{0} && period > burst_len);
+    LinkCondition burst = base;
+    burst.loss = burst_loss;
+    std::vector<Segment> segs;
+    segs.reserve(2 * bursts + 1);
+    if (start > kSimEpoch) segs.push_back({kSimEpoch, base});
+    for (std::size_t i = 0; i < bursts; ++i) {
+      const TimePoint burst_start = start + period * static_cast<int>(i);
+      segs.push_back({burst_start, burst});
+      segs.push_back({burst_start + burst_len, base});
+    }
+    return ConditionSchedule(std::move(segs));
+  }
+
   /// Symmetric up-then-down loss ramp in `step` increments. Levels are
   /// computed by integer index so repeated float addition cannot leave dust
   /// on the endpoints.

@@ -1,0 +1,312 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+#include "kvstore/client.hpp"
+#include "parallel/trial_runner.hpp"
+#include "workload/open_loop.hpp"
+
+namespace dyna::scenario {
+
+using namespace std::chrono_literals;
+
+namespace {
+
+// ---- Spec -> ClusterConfig --------------------------------------------------------
+
+cluster::ClusterConfig build_config(const ScenarioSpec& spec, std::size_t servers,
+                                    std::uint64_t seed) {
+  cluster::ClusterConfig cfg;
+  if (spec.config_factory) {
+    cfg = spec.config_factory(servers, seed);
+  } else {
+    switch (spec.variant) {
+      case Variant::Raft:
+        cfg = cluster::make_raft_config(servers, seed);
+        break;
+      case Variant::RaftLow:
+        cfg = cluster::make_raft_low_config(servers, seed);
+        break;
+      case Variant::Dynatune:
+        cfg = cluster::make_dynatune_config(servers, seed, spec.dynatune);
+        break;
+      case Variant::FixK:
+        cfg = cluster::make_fixk_config(servers, seed, spec.fix_k, spec.dynatune);
+        break;
+    }
+  }
+  cfg.links = spec.topology.schedule.value_or(net::ConditionSchedule::constant(spec.topology.base));
+  cfg.transport = spec.transport;
+  if (spec.raft_tick) cfg.raft.tick = *spec.raft_tick;
+  cfg.request_service_time = spec.request_service_time;
+  cfg.durable_log = spec.durable_log;
+  cfg.perf_cost = spec.perf_cost;
+  cfg.perf_bin = spec.perf_bin;
+  return cfg;
+}
+
+// ---- Internal strategies ----------------------------------------------------------
+
+/// The paper's §IV-B1 procedure: repeatedly freeze the leader ("container
+/// sleep"), read detection / OTS instants from the probe's event stream,
+/// revive, repeat.
+std::vector<FailoverSample> run_failovers(cluster::Cluster& c, const FaultPlan& plan) {
+  std::vector<FailoverSample> samples;
+  samples.reserve(plan.kills);
+
+  // Multi-machine measurement noise (AWS experiment): each server's log
+  // timestamps carry a fixed NTP offset.
+  if (plan.clock_skew_ms) {
+    Rng skew_rng = c.fork_rng(0x5C1E);
+    for (const NodeId id : c.server_ids()) {
+      c.probe().set_clock_offset(id, from_ms(skew_rng.normal(0.0, *plan.clock_skew_ms)));
+    }
+  }
+
+  for (std::size_t kill = 0; kill < plan.kills; ++kill) {
+    FailoverSample sample;
+
+    if (!c.await_leader(plan.max_wait)) {
+      samples.push_back(sample);  // ok == false
+      continue;
+    }
+    c.sim().run_for(plan.settle);
+    const NodeId leader = c.current_leader();
+    if (leader == kNoNode) {
+      samples.push_back(sample);
+      continue;
+    }
+
+    // Mean randomizedTimeout across the followers just before the kill
+    // (the §IV-B1 telemetry: 1454 ms for Raft vs 152 ms for Dynatune; the
+    // leader is excluded — its stale draw never gates failure detection).
+    {
+      Welford w;
+      for (const NodeId id : c.server_ids()) {
+        if (id == leader) continue;
+        if (auto* n = c.node_if_alive(id); n != nullptr && n->running()) {
+          w.add(to_ms(n->randomized_timeout()));
+        }
+      }
+      sample.mean_randomized_ms = w.mean();
+    }
+
+    const TimePoint t_kill = c.sim().now();
+    c.pause(leader);
+
+    // Advance until a successor emerges.
+    const TimePoint deadline = t_kill + plan.max_wait;
+    std::optional<cluster::Probe::LeaderEvent> new_leader;
+    while (c.sim().now() < deadline) {
+      new_leader = c.probe().first_leader_after(t_kill, /*exclude=*/leader);
+      if (new_leader) break;
+      c.sim().run_for(5ms);
+    }
+
+    const auto detection = c.probe().first_timeout_after(t_kill);
+    if (new_leader && detection) {
+      sample.detection_ms = to_ms(detection->when - t_kill);
+      sample.ots_ms = to_ms(new_leader->when - t_kill);
+      sample.election_ms = sample.ots_ms - sample.detection_ms;
+      sample.ok = true;
+    }
+    samples.push_back(sample);
+
+    c.sim().run_for(plan.resume_delay);
+    c.resume(leader);
+  }
+  return samples;
+}
+
+/// Median follower election timeout in force; -1 when no follower is live.
+double follower_et_median_ms(cluster::Cluster& c, NodeId leader) {
+  std::vector<double> ets;
+  for (const NodeId id : c.server_ids()) {
+    if (id == leader) continue;
+    if (auto* n = c.node_if_alive(id); n != nullptr && n->running()) {
+      ets.push_back(to_ms(n->policy().election_timeout()));
+    }
+  }
+  if (ets.empty()) return -1.0;
+  const auto mid = ets.begin() + static_cast<std::ptrdiff_t>(ets.size() / 2);
+  std::nth_element(ets.begin(), mid, ets.end());
+  return *mid;
+}
+
+/// The §IV-C1 sampling loop generalized: every `sample_every`, record the
+/// link condition in force, the k-th smallest randomizedTimeout, follower Et
+/// / leader pace telemetry, CPU (when modeled) and availability.
+std::vector<SamplePoint> run_samples(cluster::Cluster& c, const SamplePlan& plan) {
+  std::vector<SamplePoint> points;
+  const auto total =
+      static_cast<std::size_t>(plan.duration.count() / plan.sample_every.count());
+  points.reserve(total);
+  std::uint64_t last_sent = 0;
+  NodeId last_leader = c.current_leader();
+  if (last_leader != kNoNode) last_sent = c.network().traffic(last_leader).sent;
+  for (std::size_t i = 0; i < total; ++i) {
+    c.sim().run_for(plan.sample_every);
+    const TimePoint now = c.sim().now();
+
+    SamplePoint p;
+    p.t_sec = to_sec(now);
+    const net::LinkCondition& cond = c.network().condition(0, 1);
+    p.rtt_ms = to_ms(cond.rtt);
+    p.loss_pct = cond.loss * 100.0;
+    const Duration kth = c.randomized_timeout_kth(plan.kth);
+    p.randomized_kth_ms = kth == Duration::max() ? -1.0 : to_ms(kth);
+    p.available = cluster::service_available(c);
+
+    const NodeId leader = c.current_leader();
+    if (leader != kNoNode) {
+      p.et_median_ms = follower_et_median_ms(c, leader);
+      double h_sum = 0.0;
+      int h_n = 0;
+      raft::RaftNode& ln = c.node(leader);
+      for (const NodeId id : c.server_ids()) {
+        if (id == leader) continue;
+        h_sum += to_ms(ln.effective_heartbeat_interval(id));
+        ++h_n;
+      }
+      if (h_n > 0) p.h_mean_ms = h_sum / h_n;
+
+      // The send rate is a delta of the leader's cumulative counter; a
+      // leadership change between samples makes the previous baseline another
+      // node's counter, so the bin after a change has no rate.
+      const std::uint64_t sent = c.network().traffic(leader).sent;
+      if (leader == last_leader) {
+        p.hb_per_sec = static_cast<double>(sent - last_sent) / to_sec(plan.sample_every);
+      }
+      last_sent = sent;
+
+      if (c.perf() != nullptr) {
+        const NodeId follower = leader == 0 ? 1 : 0;
+        p.leader_cpu_pct = c.perf()->cpu_percent_at(leader, now - plan.sample_every);
+        p.follower_cpu_pct = c.perf()->cpu_percent_at(follower, now - plan.sample_every);
+      }
+    }
+    last_leader = leader;
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::vector<PathSample> record_paths(cluster::Cluster& c, NodeId leader) {
+  std::vector<PathSample> paths;
+  if (leader == kNoNode) return paths;
+  raft::RaftNode& ln = c.node(leader);
+  for (const NodeId id : c.server_ids()) {
+    if (id == leader) continue;
+    PathSample p;
+    p.follower = id;
+    p.rtt_ms = to_ms(c.network().condition(leader, id).rtt);
+    if (auto* n = c.node_if_alive(id); n != nullptr && n->running()) {
+      p.et_ms = to_ms(n->policy().election_timeout());
+    }
+    p.h_ms = to_ms(ln.effective_heartbeat_interval(id));
+    paths.push_back(p);
+  }
+  return paths;
+}
+
+}  // namespace
+
+std::unique_ptr<cluster::Cluster> ScenarioRunner::materialize(const ScenarioSpec& spec) {
+  auto c = std::make_unique<cluster::Cluster>(build_config(spec, spec.servers, spec.seed));
+  if (spec.topology.wan) {
+    DYNA_EXPECTS(spec.topology.wan->size() >= spec.servers);
+    spec.topology.wan->apply(c->network());
+  }
+  for (const auto& o : spec.topology.overrides) {
+    c->network().set_link_schedule(o.from, o.to, o.schedule);
+  }
+  return c;
+}
+
+ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
+  auto c = materialize(spec);
+  return run_on(*c, spec);
+}
+
+ScenarioResult ScenarioRunner::run_on(cluster::Cluster& c, const ScenarioSpec& spec) {
+  ScenarioResult r;
+  r.scenario = spec.name;
+  r.servers = spec.servers;
+  r.seed = spec.seed;
+  r.variant = c.config().name;  // factory-supplied configs keep their own name
+
+  r.leader_elected = c.await_leader(spec.await_leader);
+  if (!r.leader_elected) {
+    r.timer_expiries = c.probe().timeouts().size();
+    r.sim_seconds = to_sec(c.sim().now());
+    return r;
+  }
+  c.sim().run_for(spec.warmup);
+
+  if (spec.sample_paths) {
+    r.paths_leader = c.current_leader();
+    r.paths = record_paths(c, r.paths_leader);
+  }
+
+  const TimePoint measure_start = c.sim().now();
+
+  if (spec.workload.enabled) {
+    // Fixed RNG stream ids keep the workload trace a pure function of the
+    // cluster seed (and match the pre-scenario-API Fig 5 driver).
+    kv::KvClient client(c.sim(), c.network(), c.server_ids(), c.fork_rng(0xC11E47));
+    wl::OpenLoopRamp ramp(c, client, spec.workload.ramp, c.fork_rng(0x10AD));
+    r.levels = ramp.run();
+  }
+
+  if (spec.faults.kills > 0) {
+    r.failovers = run_failovers(c, spec.faults);
+  }
+
+  if (spec.samples.duration > Duration{0}) {
+    r.samples = run_samples(c, spec.samples);
+    for (const auto& p : r.samples) {
+      if (!p.available) r.ots_seconds += to_sec(spec.samples.sample_every);
+    }
+  }
+
+  r.elections = c.probe().elections_started_in(measure_start, c.sim().now());
+  r.timer_expiries = c.probe().timeouts().size();
+  r.sim_seconds = to_sec(c.sim().now());
+  return r;
+}
+
+std::uint64_t ScenarioRunner::sweep_seed(const SweepSpec& sweep, std::size_t seed_index) {
+  const std::uint64_t master = sweep.master_seed != 0 ? sweep.master_seed : sweep.base.seed;
+  return derive_seed(master, seed_index);
+}
+
+std::vector<ScenarioResult> ScenarioRunner::run_sweep(const SweepSpec& sweep) {
+  const std::vector<Variant> variants =
+      sweep.variants.empty() ? std::vector<Variant>{sweep.base.variant} : sweep.variants;
+  const std::vector<std::size_t> sizes =
+      sweep.sizes.empty() ? std::vector<std::size_t>{sweep.base.servers} : sweep.sizes;
+  const std::size_t trials = std::max<std::size_t>(1, sweep.seeds);
+
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(variants.size() * sizes.size() * trials);
+  for (const Variant v : variants) {
+    for (const std::size_t n : sizes) {
+      for (std::size_t t = 0; t < trials; ++t) {
+        ScenarioSpec s = sweep.base;
+        s.variant = v;
+        s.servers = n;
+        s.seed = sweep_seed(sweep, t);
+        specs.push_back(std::move(s));
+      }
+    }
+  }
+
+  const unsigned threads =
+      sweep.threads != 0 ? sweep.threads : std::thread::hardware_concurrency();
+  return par::run_trials<ScenarioResult>(
+      specs.size(), sweep.master_seed != 0 ? sweep.master_seed : sweep.base.seed,
+      [&specs](std::size_t i, std::uint64_t /*derived*/) { return run(specs[i]); }, threads);
+}
+
+}  // namespace dyna::scenario

@@ -1,0 +1,55 @@
+// ScenarioRunner: compiles a ScenarioSpec into a running Cluster and
+// executes its plans deterministically.
+//
+// run() is a pure function of the spec (one 64-bit seed in, one
+// ScenarioResult out); run_sweep() crosses a base spec over variants x sizes
+// x seeds through par::run_trials, with results in enumeration order and
+// trial seeds derived from (master_seed, seed index) alone — so a sweep is
+// bit-identical across thread counts.
+//
+// The failover ("container sleep" kill loop, §IV-B1) and timeline-sampling
+// (§IV-C1) procedures that used to be public experiment drivers are internal
+// strategies here, selected through the spec's FaultPlan / SamplePlan.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "scenario/result.hpp"
+#include "scenario/spec.hpp"
+
+namespace dyna::scenario {
+
+class ScenarioRunner {
+ public:
+  /// Compile the spec into a running cluster: variant config, topology
+  /// (default schedule, WAN matrix, per-direction overrides), transport and
+  /// perf model all applied. No simulated time has passed yet. Examples and
+  /// tests that need live-cluster access build on this; run() does too.
+  [[nodiscard]] static std::unique_ptr<cluster::Cluster> materialize(const ScenarioSpec& spec);
+
+  /// Execute one spec end to end: materialize, await leader, warm up, then
+  /// run the workload / fault / sampling plans and collect counters.
+  [[nodiscard]] static ScenarioResult run(const ScenarioSpec& spec);
+
+  /// Execute the spec's run shape (await leader, warm-up, plans) on a
+  /// cluster that already exists — the composition hook for callers that
+  /// need live-cluster access before/between/after plans (examples, deep
+  /// inspection tests). The cluster is expected to come from materialize()
+  /// with the same topology; simulated time continues from wherever the
+  /// cluster is.
+  [[nodiscard]] static ScenarioResult run_on(cluster::Cluster& cluster,
+                                             const ScenarioSpec& spec);
+
+  /// Execute the sweep's cross product (variant-major, then size, then seed
+  /// index) in parallel. Results are in enumeration order and independent of
+  /// `sweep.threads`.
+  [[nodiscard]] static std::vector<ScenarioResult> run_sweep(const SweepSpec& sweep);
+
+  /// The seed trial `seed_index` of a sweep runs under (same for every
+  /// (variant, size) cell, so cross-variant comparisons are seed-paired).
+  [[nodiscard]] static std::uint64_t sweep_seed(const SweepSpec& sweep, std::size_t seed_index);
+};
+
+}  // namespace dyna::scenario

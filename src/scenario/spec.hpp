@@ -1,0 +1,217 @@
+// ScenarioSpec: one value fully describing an experiment run.
+//
+// A spec names a tuning-policy variant (or a custom config factory), a
+// cluster size and seed, the network it runs on (base link, time-varying
+// schedule, WAN matrix, per-direction overrides), a fault plan, an optional
+// workload, and the measurement set to collect. ScenarioRunner compiles a
+// spec into a running Cluster and executes it deterministically; SweepSpec
+// crosses a base spec over variants x sizes x seeds for parallel sweeps.
+//
+// Every paper figure, example and integration test is a ScenarioSpec; the
+// hand-rolled drivers they used to carry (variant factory, topology apply,
+// await-leader, warm-up, kill loop, sampling loop) live behind this API now.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/perf_model.hpp"
+#include "cluster/topology.hpp"
+#include "common/types.hpp"
+#include "dynatune/config.hpp"
+#include "net/condition.hpp"
+#include "net/network.hpp"
+#include "workload/open_loop.hpp"
+
+namespace dyna::scenario {
+
+using namespace std::chrono_literals;
+
+/// The paper's tuning-policy variants (§IV-A).
+enum class Variant { Raft, RaftLow, Dynatune, FixK };
+
+[[nodiscard]] constexpr std::string_view to_string(Variant v) noexcept {
+  switch (v) {
+    case Variant::Raft: return "Raft";
+    case Variant::RaftLow: return "Raft-Low";
+    case Variant::Dynatune: return "Dynatune";
+    case Variant::FixK: return "Fix-K";
+  }
+  return "?";
+}
+
+/// Network shape for a scenario. Layered: `schedule` (or constant `base`)
+/// applies to every pair, then the WAN matrix (if any), then per-direction
+/// overrides — so an asymmetric link can be expressed on top of any mesh.
+struct TopologySpec {
+  /// Constant condition for every link when no `schedule` is set.
+  net::LinkCondition base{};
+
+  /// Time-varying default schedule replacing `constant(base)` (fluctuation
+  /// experiments: RTT ramps/spikes, loss ramps, correlated loss bursts).
+  std::optional<net::ConditionSchedule> schedule;
+
+  /// Per-pair WAN matrix applied after build (geo experiments).
+  std::optional<cluster::WanTopology> wan;
+
+  /// Directed per-link override: the forward and reverse directions of a
+  /// path may carry different schedules (asymmetric links).
+  struct DirectedOverride {
+    NodeId from = 0;
+    NodeId to = 0;
+    net::ConditionSchedule schedule;
+  };
+  std::vector<DirectedOverride> overrides;
+
+  /// Symmetric whole-mesh constant link.
+  [[nodiscard]] static TopologySpec constant(Duration rtt, Duration jitter = {},
+                                             double loss = 0.0) {
+    TopologySpec t;
+    t.base.rtt = rtt;
+    t.base.jitter = jitter;
+    t.base.loss = loss;
+    return t;
+  }
+
+  /// Add an asymmetric pair: `forward` governs a->b, `reverse` governs b->a.
+  void add_asymmetric_pair(NodeId a, NodeId b, net::ConditionSchedule forward,
+                           net::ConditionSchedule reverse) {
+    overrides.push_back({a, b, std::move(forward)});
+    overrides.push_back({b, a, std::move(reverse)});
+  }
+};
+
+/// Fault plan: today's single strategy is the paper's repeated leader kill
+/// ("container sleep", §IV-B1). `kills == 0` disables fault injection.
+struct FaultPlan {
+  std::size_t kills = 0;
+  /// Stabilization time before each kill (lets Dynatune warm up / retune).
+  Duration settle = 10s;
+  /// Give-up horizon per kill.
+  Duration max_wait = 60s;
+  /// Old leader revives this long after the new leader appears.
+  Duration resume_delay = 2s;
+  /// Per-node clock offset stddev (ms) applied to probe timestamps — models
+  /// the NTP error of the multi-machine AWS experiment. nullopt = one clock.
+  std::optional<double> clock_skew_ms;
+
+  [[nodiscard]] static FaultPlan leader_kills(std::size_t kills, Duration settle = 10s) {
+    FaultPlan f;
+    f.kills = kills;
+    f.settle = settle;
+    return f;
+  }
+};
+
+/// Periodic measurement sampling (Figs 6/7 timelines, example telemetry).
+/// Disabled while `duration == 0`. Every `sample_every` the runner records a
+/// SamplePoint: link condition in force, k-th smallest randomizedTimeout,
+/// median follower Et, leader heartbeat pace and send rate, CPU (when the
+/// perf model is on) and service availability (the paper's OTS shading).
+struct SamplePlan {
+  Duration duration{0};
+  Duration sample_every = 1s;
+  /// 1-based k for randomized_timeout_kth; 3 == f+1 for n=5 (Fig 6).
+  std::size_t kth = 3;
+
+  [[nodiscard]] static SamplePlan every(Duration sample_every, Duration duration,
+                                        std::size_t kth = 3) {
+    SamplePlan s;
+    s.duration = duration;
+    s.sample_every = sample_every;
+    s.kth = kth;
+    return s;
+  }
+};
+
+/// Open-loop workload ramp (Fig 5). Disabled until `enabled` is set.
+struct WorkloadPlan {
+  bool enabled = false;
+  wl::RampConfig ramp{};
+
+  [[nodiscard]] static WorkloadPlan open_loop_ramp(wl::RampConfig ramp) {
+    WorkloadPlan w;
+    w.enabled = true;
+    w.ramp = ramp;
+    return w;
+  }
+};
+
+struct ScenarioSpec {
+  std::string name = "scenario";
+
+  // ---- Cluster ----
+  Variant variant = Variant::Raft;
+  /// Dynatune knobs (Dynatune / Fix-K variants).
+  dt::DynatuneConfig dynatune{};
+  /// K pinned for the Fix-K variant (paper: 10).
+  int fix_k = 10;
+  /// Escape hatch: a custom cluster-config factory overriding `variant`
+  /// (custom policies, ablation knobs). Receives (servers, seed); the runner
+  /// still applies topology/transport/perf/workload from the spec on top.
+  std::function<cluster::ClusterConfig(std::size_t, std::uint64_t)> config_factory;
+
+  std::size_t servers = 5;
+  std::uint64_t seed = 1;
+
+  // ---- Network / host model ----
+  TopologySpec topology{};
+  net::Network::Config transport{};
+  /// Override the Raft timeout tick granularity (ablation).
+  std::optional<Duration> raft_tick;
+  /// Per-request FIFO CPU service time (> 0 enables the throughput pipeline).
+  Duration request_service_time{0};
+  bool durable_log = true;
+  /// CPU accounting (Fig 7b).
+  std::optional<cluster::CostModel> perf_cost;
+  Duration perf_bin = 5s;
+
+  // ---- Run shape ----
+  Duration await_leader = 30s;
+  /// Simulated time after the first leader before any measurement starts
+  /// (Dynatune warm-up).
+  Duration warmup{0};
+  /// Record per-follower path telemetry (RTT / Et / h) after warm-up.
+  bool sample_paths = false;
+
+  FaultPlan faults{};
+  SamplePlan samples{};
+  WorkloadPlan workload{};
+};
+
+/// Cross product of one base spec over variants x sizes x seed trials.
+/// Enumeration order is fixed (variant-major, then size, then seed index) and
+/// trial seeds derive from (master_seed, seed index) alone, so a sweep's
+/// results are bit-identical regardless of thread count — the contract
+/// tests/test_scenario_sweep.cpp verifies.
+struct SweepSpec {
+  ScenarioSpec base{};
+  /// Empty => {base.variant}.
+  std::vector<Variant> variants{};
+  /// Empty => {base.servers}.
+  std::vector<std::size_t> sizes{};
+  /// Number of seed trials per (variant, size) cell.
+  std::size_t seeds = 1;
+  /// 0 => base.seed. Trial i's seed is derive_seed(master_seed, i) — the same
+  /// seeds across every (variant, size) cell, so comparisons are paired.
+  std::uint64_t master_seed = 0;
+  /// Worker threads for par::run_trials; 0 => hardware concurrency.
+  unsigned threads = 0;
+};
+
+/// The paper's single-machine testbed stall process: five 4-core containers
+/// demand 20 vCPUs of a 12-core Xeon, so node processes stall for tens of
+/// milliseconds routinely and for hundreds in the tail (cfs-quota throttling
+/// quanta). Calibrated once; applied identically to every variant.
+[[nodiscard]] inline net::StallConfig testbed_stalls() {
+  net::StallConfig s;
+  s.mean_interval = 4s;
+  s.duration_median_ms = 25.0;
+  s.duration_sigma = 1.4;
+  return s;
+}
+
+}  // namespace dyna::scenario

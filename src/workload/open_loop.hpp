@@ -33,6 +33,8 @@ struct LevelResult {
   double p99_latency_ms = 0.0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
+
+  friend bool operator==(const LevelResult&, const LevelResult&) = default;
 };
 
 class OpenLoopRamp {

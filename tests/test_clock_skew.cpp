@@ -1,6 +1,6 @@
 // Clock skew in the measurement path (§IV-D's multi-machine AWS setting).
 //
-// FailoverOptions::clock_skew_ms models per-node NTP error: the probe shifts
+// FaultPlan::clock_skew_ms models per-node NTP error: the probe shifts
 // every recorded timestamp by the reporting node's fixed offset, exactly the
 // distortion a log-file reader sees when detection and OTS instants come from
 // different machines' clocks. Dynatune's RTT measurement itself is immune (the
@@ -11,36 +11,32 @@
 #include <cmath>
 #include <sstream>
 
-#include "cluster/cluster.hpp"
-#include "cluster/experiment.hpp"
+#include "scenario/runner.hpp"
 #include "test_support.hpp"
 
 namespace dyna {
 namespace {
 
 using namespace std::chrono_literals;
-using cluster::Cluster;
-using cluster::FailoverOptions;
-using testutil::constant_link;
 
-cluster::ClusterConfig skew_cfg(std::uint64_t seed, bool dynatune) {
-  cluster::ClusterConfig cfg = dynatune ? cluster::make_dynatune_config(5, seed)
-                                        : cluster::make_raft_config(5, seed);
-  cfg.links = constant_link(60ms, 3ms, 0.01);
-  return cfg;
+scenario::ScenarioSpec skew_spec(std::uint64_t seed, bool dynatune,
+                                 std::optional<double> skew_ms) {
+  scenario::ScenarioSpec spec;
+  spec.variant = dynatune ? scenario::Variant::Dynatune : scenario::Variant::Raft;
+  spec.servers = 5;
+  spec.seed = seed;
+  spec.topology = scenario::TopologySpec::constant(60ms, 3ms, 0.01);
+  spec.faults = scenario::FaultPlan::leader_kills(3, 3s);
+  spec.faults.clock_skew_ms = skew_ms;
+  return spec;
 }
 
-std::vector<cluster::FailoverSample> run_failover(std::uint64_t seed, bool dynatune,
-                                                  std::optional<double> skew_ms) {
-  Cluster c(skew_cfg(seed, dynatune));
-  FailoverOptions opt;
-  opt.kills = 3;
-  opt.settle = 3s;
-  opt.clock_skew_ms = skew_ms;
-  return cluster::FailoverExperiment::run(c, opt);
+std::vector<scenario::FailoverSample> run_failover(std::uint64_t seed, bool dynatune,
+                                                   std::optional<double> skew_ms) {
+  return scenario::ScenarioRunner::run(skew_spec(seed, dynatune, skew_ms)).failovers;
 }
 
-std::string serialize(const std::vector<cluster::FailoverSample>& samples) {
+std::string serialize(const std::vector<scenario::FailoverSample>& samples) {
   std::ostringstream out;
   out.precision(17);
   for (const auto& s : samples) {
@@ -94,33 +90,36 @@ TEST(ClockSkew, ZeroSkewMatchesOneClockRun) {
   EXPECT_EQ(serialize(plain), serialize(zero));
 }
 
-TEST(ClockSkew, SkewAppliesAcrossTheFullExperimentPath) {
+TEST(ClockSkew, SkewAppliesAcrossTheFullScenarioPath) {
   // Timeline sampling + failover kills on a fluctuating link, as the paper's
   // composite figures run them, with skew active throughout. The run must
   // stay deterministic and the timeline (sampled from node state, not probe
   // logs) must be identical to the unskewed run.
   auto run = [](std::optional<double> skew) {
-    cluster::ClusterConfig cfg = cluster::make_dynatune_config(5, 34);
     net::LinkCondition base;
     base.jitter = 2ms;
-    cfg.links = net::ConditionSchedule::rtt_steps(base, {40ms, 120ms}, 15s);
-    Cluster c(std::move(cfg));
-    c.await_leader(60s);
 
-    cluster::TimelineOptions topt;
-    topt.duration = 20s;
-    const auto timeline = cluster::run_randomized_timeline(c, topt);
+    scenario::ScenarioSpec spec;
+    spec.variant = scenario::Variant::Dynatune;
+    spec.servers = 5;
+    spec.seed = 34;
+    spec.topology.schedule = net::ConditionSchedule::rtt_steps(base, {40ms, 120ms}, 15s);
+    spec.await_leader = 60s;
+    spec.samples = scenario::SamplePlan::every(1s, 20s);
 
-    cluster::FailoverOptions fopt;
-    fopt.kills = 2;
-    fopt.settle = 3s;
-    fopt.clock_skew_ms = skew;
-    const auto kills = cluster::FailoverExperiment::run(c, fopt);
+    auto c = scenario::ScenarioRunner::materialize(spec);
+    const auto timeline = scenario::ScenarioRunner::run_on(*c, spec).samples;
+
+    scenario::ScenarioSpec kill_spec = spec;
+    kill_spec.samples = {};
+    kill_spec.faults = scenario::FaultPlan::leader_kills(2, 3s);
+    kill_spec.faults.clock_skew_ms = skew;
+    const auto kills = scenario::ScenarioRunner::run_on(*c, kill_spec).failovers;
 
     std::ostringstream out;
     out.precision(17);
     for (const auto& p : timeline) {
-      out << p.t_sec << "," << p.randomized_kth_ms << "," << p.ots << ";";
+      out << p.t_sec << "," << p.randomized_kth_ms << "," << !p.available << ";";
     }
     return std::make_pair(out.str(), serialize(kills));
   };

@@ -2,7 +2,6 @@
 #include <gtest/gtest.h>
 
 #include "cluster/cluster.hpp"
-#include "cluster/experiment.hpp"
 #include "cluster/topology.hpp"
 
 namespace dyna {

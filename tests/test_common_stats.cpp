@@ -104,6 +104,28 @@ TEST(SlidingWindow, StatsMatchNaiveOverRetainedWindow) {
   EXPECT_NEAR(w.stddev(), naive_stddev(tail), 1e-9);
 }
 
+TEST(SlidingWindow, IncrementalMatchesRecomputeOverLongRuns) {
+  // The O(1) incremental mean/stddev must track a full recompute of the
+  // retained window through hundreds of refill cycles, including with a
+  // large common offset (cancellation stress on the inverse Welford update).
+  for (const double offset : {0.0, 1e6}) {
+    const std::size_t cap = 100;
+    SlidingWindow w(cap);
+    Rng rng(11);
+    std::vector<double> all;
+    for (int i = 0; i < 50'000; ++i) {
+      const double x = offset + rng.normal(100.0, 25.0);
+      all.push_back(x);
+      w.add(x);
+      if (i % 997 == 0 && all.size() >= cap) {
+        const std::vector<double> tail(all.end() - static_cast<std::ptrdiff_t>(cap), all.end());
+        ASSERT_NEAR(w.mean(), naive_mean(tail), 1e-9 * std::max(1.0, offset)) << "i=" << i;
+        ASSERT_NEAR(w.stddev(), naive_stddev(tail), 1e-6) << "i=" << i;
+      }
+    }
+  }
+}
+
 TEST(SlidingWindow, ClearEmpties) {
   SlidingWindow w(4);
   w.add(1);

@@ -8,8 +8,8 @@
 #include <sstream>
 
 #include "cluster/cluster.hpp"
-#include "cluster/experiment.hpp"
 #include "kvstore/client.hpp"
+#include "scenario/runner.hpp"
 #include "test_support.hpp"
 
 namespace dyna {
@@ -78,41 +78,43 @@ TEST(Determinism, DifferentSeedsProduceDifferentTraces) {
   EXPECT_NE(trace_of(1001, true), trace_of(2002, true));
 }
 
-/// Full cluster::Experiment path: timeline sampling plus failover kills on a
+/// Full scenario path: timeline sampling plus failover kills on a
 /// fluctuating Dynatune WAN, serialized down to every metric field. Two runs
 /// with one seed must agree byte-for-byte; a different seed must not.
 std::string experiment_trace_of(std::uint64_t seed) {
-  cluster::ClusterConfig cfg = cluster::make_dynatune_config(5, seed);
   net::LinkCondition base;
   base.jitter = 2ms;
   base.loss = 0.01;
-  cfg.links = net::ConditionSchedule::rtt_steps(base, {40ms, 160ms, 80ms}, 20s);
-  Cluster c(std::move(cfg));
-  c.await_leader(60s);
+
+  scenario::ScenarioSpec spec;
+  spec.variant = scenario::Variant::Dynatune;
+  spec.servers = 5;
+  spec.seed = seed;
+  spec.topology.schedule = net::ConditionSchedule::rtt_steps(base, {40ms, 160ms, 80ms}, 20s);
+  spec.await_leader = 60s;
+  spec.samples = scenario::SamplePlan::every(1s, 30s);
+  spec.faults = scenario::FaultPlan::leader_kills(2, 3s);
+
+  auto c = scenario::ScenarioRunner::materialize(spec);
+  const scenario::ScenarioResult r = scenario::ScenarioRunner::run_on(*c, spec);
 
   std::ostringstream out;
   out.precision(17);  // doubles round-trip exactly -> byte-identical or bust
 
-  cluster::TimelineOptions topt;
-  topt.duration = 30s;
-  for (const auto& p : cluster::run_randomized_timeline(c, topt)) {
+  for (const auto& p : r.samples) {
     out << "T" << p.t_sec << "," << p.randomized_kth_ms << "," << p.rtt_ms << ","
-        << p.ots << ";";
+        << !p.available << ";";
   }
-
-  cluster::FailoverOptions fopt;
-  fopt.kills = 2;
-  fopt.settle = 3s;
-  for (const auto& s : cluster::FailoverExperiment::run(c, fopt)) {
+  for (const auto& s : r.failovers) {
     out << "F" << s.detection_ms << "," << s.ots_ms << "," << s.election_ms << ","
         << s.mean_randomized_ms << "," << s.ok << ";";
   }
 
-  out << "events=" << c.sim().executed() << ";";
-  for (const NodeId id : c.server_ids()) {
-    const auto& t = c.network().traffic(id);
-    out << "n" << id << ":commit=" << c.node(id).commit_index()
-        << ",term=" << c.node(id).term() << ",sent=" << t.sent << ",recv=" << t.received
+  out << "events=" << c->sim().executed() << ";";
+  for (const NodeId id : c->server_ids()) {
+    const auto& t = c->network().traffic(id);
+    out << "n" << id << ":commit=" << c->node(id).commit_index()
+        << ",term=" << c->node(id).term() << ",sent=" << t.sent << ",recv=" << t.received
         << ",lost=" << t.lost << ";";
   }
   return out.str();
@@ -128,15 +130,16 @@ TEST(Determinism, FullExperimentPathSeedSensitive) {
   EXPECT_NE(experiment_trace_of(7), experiment_trace_of(8));
 }
 
-TEST(Determinism, FailoverExperimentReproducible) {
+TEST(Determinism, FailoverScenarioReproducible) {
   auto run = [] {
-    Cluster c(cluster::make_raft_config(5, 88));
-    cluster::FailoverOptions opt;
-    opt.kills = 3;
-    opt.settle = 3s;
-    const auto samples = cluster::FailoverExperiment::run(c, opt);
+    scenario::ScenarioSpec spec;
+    spec.variant = scenario::Variant::Raft;
+    spec.servers = 5;
+    spec.seed = 88;
+    spec.faults = scenario::FaultPlan::leader_kills(3, 3s);
+    const scenario::ScenarioResult r = scenario::ScenarioRunner::run(spec);
     std::ostringstream out;
-    for (const auto& s : samples) out << s.detection_ms << "," << s.ots_ms << ";";
+    for (const auto& s : r.failovers) out << s.detection_ms << "," << s.ots_ms << ";";
     return out.str();
   };
   EXPECT_EQ(run(), run());

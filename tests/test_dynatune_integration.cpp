@@ -4,8 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "cluster/cluster.hpp"
-#include "cluster/experiment.hpp"
 #include "dynatune/policy.hpp"
+#include "scenario/runner.hpp"
 #include "test_support.hpp"
 
 namespace dyna {
@@ -122,14 +122,13 @@ TEST(DynatuneIntegration, ReTunesToSpikeLevelDuringLongSpike) {
 
 TEST(DynatuneIntegration, DetectionFasterThanBaselineRaft) {
   auto run = [](bool dynatune) {
-    cluster::ClusterConfig cfg = dynatune ? cluster::make_dynatune_config(5, 6)
-                                          : cluster::make_raft_config(5, 6);
-    cfg.links = constant_link(100ms);
-    Cluster c(std::move(cfg));
-    cluster::FailoverOptions opt;
-    opt.kills = 10;
-    opt.settle = 8s;
-    const auto samples = cluster::FailoverExperiment::run(c, opt);
+    scenario::ScenarioSpec spec;
+    spec.variant = dynatune ? scenario::Variant::Dynatune : scenario::Variant::Raft;
+    spec.servers = 5;
+    spec.seed = 6;
+    spec.topology = scenario::TopologySpec::constant(100ms);
+    spec.faults = scenario::FaultPlan::leader_kills(10, 8s);
+    const auto samples = scenario::ScenarioRunner::run(spec).failovers;
     double sum = 0;
     int n = 0;
     for (const auto& s : samples) {

@@ -1,8 +1,9 @@
-// Experiment drivers: failover measurement and fluctuation timelines.
+// Experiment strategies behind the scenario API: failover measurement and
+// fluctuation timelines, driven through ScenarioSpec/ScenarioRunner.
 #include <gtest/gtest.h>
 
 #include "cluster/cluster.hpp"
-#include "cluster/experiment.hpp"
+#include "scenario/runner.hpp"
 
 namespace dyna {
 namespace {
@@ -10,12 +11,18 @@ namespace {
 using namespace std::chrono_literals;
 using cluster::Cluster;
 
+scenario::ScenarioSpec raft_spec(std::uint64_t seed, std::size_t servers = 5) {
+  scenario::ScenarioSpec spec;
+  spec.variant = scenario::Variant::Raft;
+  spec.servers = servers;
+  spec.seed = seed;
+  return spec;
+}
+
 TEST(Failover, MeasuresDetectionAndOts) {
-  Cluster c(cluster::make_raft_config(5, 1));
-  cluster::FailoverOptions opt;
-  opt.kills = 3;
-  opt.settle = 3s;
-  const auto samples = cluster::FailoverExperiment::run(c, opt);
+  scenario::ScenarioSpec spec = raft_spec(1);
+  spec.faults = scenario::FaultPlan::leader_kills(3, 3s);
+  const auto samples = scenario::ScenarioRunner::run(spec).failovers;
   ASSERT_EQ(samples.size(), 3u);
   for (const auto& s : samples) {
     ASSERT_TRUE(s.ok);
@@ -31,27 +38,24 @@ TEST(Failover, MeasuresDetectionAndOts) {
 }
 
 TEST(Failover, ClusterKeepsWorkingAcrossManyKills) {
-  Cluster c(cluster::make_raft_config(5, 2));
-  cluster::FailoverOptions opt;
-  opt.kills = 6;
-  opt.settle = 2s;
-  const auto samples = cluster::FailoverExperiment::run(c, opt);
+  scenario::ScenarioSpec spec = raft_spec(2);
+  spec.faults = scenario::FaultPlan::leader_kills(6, 2s);
+  const auto result = scenario::ScenarioRunner::run(spec);
   std::size_t ok = 0;
-  for (const auto& s : samples) {
+  for (const auto& s : result.failovers) {
     if (s.ok) ++ok;
   }
-  EXPECT_EQ(ok, samples.size());
+  EXPECT_EQ(ok, result.failovers.size());
+  EXPECT_EQ(result.failovers.size(), 6u);
 }
 
 TEST(Failover, ClockSkewPerturbsMeasurementsOnly) {
   // With skew the *measured* values wobble but stay plausible; the cluster
   // itself is unaffected (Raft never reads the probe's clock).
-  Cluster c(cluster::make_raft_config(5, 3));
-  cluster::FailoverOptions opt;
-  opt.kills = 3;
-  opt.settle = 3s;
-  opt.clock_skew_ms = 20.0;
-  const auto samples = cluster::FailoverExperiment::run(c, opt);
+  scenario::ScenarioSpec spec = raft_spec(3);
+  spec.faults = scenario::FaultPlan::leader_kills(3, 3s);
+  spec.faults.clock_skew_ms = 20.0;
+  const auto samples = scenario::ScenarioRunner::run(spec).failovers;
   for (const auto& s : samples) {
     ASSERT_TRUE(s.ok);
     EXPECT_GT(s.detection_ms, 500.0);
@@ -60,34 +64,29 @@ TEST(Failover, ClockSkewPerturbsMeasurementsOnly) {
 }
 
 TEST(Timeline, SamplesTrackSchedule) {
-  cluster::ClusterConfig cfg = cluster::make_raft_config(5, 4);
   net::LinkCondition base;
-  cfg.links = net::ConditionSchedule::rtt_steps(base, {50ms, 150ms}, 10s);
-  Cluster c(std::move(cfg));
-  ASSERT_TRUE(c.await_leader(30s));
-
-  cluster::TimelineOptions opt;
-  opt.duration = 16s;
-  opt.sample_every = 1s;
-  const auto points = cluster::run_randomized_timeline(c, opt);
-  ASSERT_EQ(points.size(), 16u);
+  scenario::ScenarioSpec spec = raft_spec(4);
+  spec.topology.schedule = net::ConditionSchedule::rtt_steps(base, {50ms, 150ms}, 10s);
+  spec.samples = scenario::SamplePlan::every(1s, 16s);
+  const auto result = scenario::ScenarioRunner::run(spec);
+  ASSERT_TRUE(result.leader_elected);
+  ASSERT_EQ(result.samples.size(), 16u);
   // Early samples see 50 ms, late ones 150 ms.
-  EXPECT_NEAR(points.front().rtt_ms, 50.0, 1e-9);
-  EXPECT_NEAR(points.back().rtt_ms, 150.0, 1e-9);
-  for (const auto& p : points) {
-    EXPECT_FALSE(p.ots);  // healthy cluster throughout
+  EXPECT_NEAR(result.samples.front().rtt_ms, 50.0, 1e-9);
+  EXPECT_NEAR(result.samples.back().rtt_ms, 150.0, 1e-9);
+  for (const auto& p : result.samples) {
+    EXPECT_TRUE(p.available);  // healthy cluster throughout
     EXPECT_GT(p.randomized_kth_ms, 0.0);
   }
+  EXPECT_DOUBLE_EQ(result.ots_seconds, 0.0);
 }
 
 TEST(Timeline, KthUsesRunningNodesOnly) {
-  Cluster c(cluster::make_raft_config(5, 5));
-  ASSERT_TRUE(c.await_leader(30s));
-  cluster::TimelineOptions opt;
-  opt.duration = 3s;
-  opt.kth = 3;
-  const auto points = cluster::run_randomized_timeline(c, opt);
-  for (const auto& p : points) {
+  scenario::ScenarioSpec spec = raft_spec(5);
+  spec.samples = scenario::SamplePlan::every(1s, 3s, /*kth=*/3);
+  const auto result = scenario::ScenarioRunner::run(spec);
+  ASSERT_TRUE(result.leader_elected);
+  for (const auto& p : result.samples) {
     EXPECT_GE(p.randomized_kth_ms, 1000.0);  // baseline draws in [1000, 2000)
     EXPECT_LT(p.randomized_kth_ms, 2000.0);
   }

@@ -1,0 +1,135 @@
+// Sweep execution: cross-product enumeration, seed pairing, bit-identical
+// results across thread counts, and the first n > 5 coverage (election,
+// failover and Dynatune warm-up at n = 7 and n = 9) through ScenarioRunner.
+#include <gtest/gtest.h>
+
+#include "dynatune/policy.hpp"
+#include "scenario/runner.hpp"
+#include "test_support.hpp"
+
+namespace dyna {
+namespace {
+
+using namespace std::chrono_literals;
+using testutil::policy_of;
+
+TEST(ScenarioSweep, CrossProductEnumerationIsVariantMajorAndSeedPaired) {
+  scenario::SweepSpec sweep;
+  sweep.base.name = "enum";
+  sweep.base.topology = scenario::TopologySpec::constant(40ms);
+  sweep.base.await_leader = 100ms;  // no leader needed: enumeration test only
+  sweep.variants = {scenario::Variant::Raft, scenario::Variant::Dynatune};
+  sweep.sizes = {3, 5};
+  sweep.seeds = 2;
+  sweep.master_seed = 77;
+  sweep.threads = 2;
+
+  const auto results = scenario::ScenarioRunner::run_sweep(sweep);
+  ASSERT_EQ(results.size(), 8u);
+
+  const std::uint64_t s0 = scenario::ScenarioRunner::sweep_seed(sweep, 0);
+  const std::uint64_t s1 = scenario::ScenarioRunner::sweep_seed(sweep, 1);
+  EXPECT_NE(s0, s1);
+
+  std::size_t i = 0;
+  for (const std::string variant : {"Raft", "Dynatune"}) {
+    for (const std::size_t n : {3u, 5u}) {
+      for (const std::uint64_t seed : {s0, s1}) {
+        EXPECT_EQ(results[i].variant, variant) << "cell " << i;
+        EXPECT_EQ(results[i].servers, n) << "cell " << i;
+        EXPECT_EQ(results[i].seed, seed) << "cell " << i;
+        ++i;
+      }
+    }
+  }
+}
+
+TEST(ScenarioSweep, BitIdenticalAcrossThreadCounts) {
+  // The acceptance contract: a >= 3 sizes x >= 5 seeds sweep produces
+  // bit-identical ScenarioResults on 1 thread and on N threads. Equality is
+  // the defaulted == over every sample series and counter — any divergence
+  // in any double fails.
+  scenario::SweepSpec sweep;
+  sweep.base.name = "determinism";
+  sweep.base.variant = scenario::Variant::Dynatune;
+  sweep.base.topology = scenario::TopologySpec::constant(60ms, 2ms, 0.01);
+  sweep.base.faults = scenario::FaultPlan::leader_kills(1, 2s);
+  sweep.base.samples = scenario::SamplePlan::every(1s, 3s, /*kth=*/2);
+  sweep.sizes = {3, 5, 7};
+  sweep.seeds = 5;
+  sweep.master_seed = 99;
+
+  sweep.threads = 1;
+  const auto serial = scenario::ScenarioRunner::run_sweep(sweep);
+  sweep.threads = 8;
+  const auto parallel = scenario::ScenarioRunner::run_sweep(sweep);
+
+  ASSERT_EQ(serial.size(), 15u);
+  ASSERT_EQ(parallel.size(), 15u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "cell " << i << " (n=" << serial[i].servers
+                                      << ", seed=" << serial[i].seed << ")";
+  }
+}
+
+// ---- n > 5: first exercise of the n*n link table / arena above five servers ----
+
+class LargeClusterSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LargeClusterSweep, ElectsAndSurvivesFailovers) {
+  const std::size_t n = GetParam();
+  scenario::ScenarioSpec spec;
+  spec.name = "scale";
+  spec.variant = scenario::Variant::Raft;
+  spec.servers = n;
+  spec.seed = 5 + n;
+  spec.topology = scenario::TopologySpec::constant(80ms, 1ms);
+  spec.faults = scenario::FaultPlan::leader_kills(2, 3s);
+  spec.samples = scenario::SamplePlan::every(1s, 5s, /*kth=*/n / 2 + 1);
+
+  const scenario::ScenarioResult r = scenario::ScenarioRunner::run(spec);
+  ASSERT_TRUE(r.leader_elected);
+  ASSERT_EQ(r.failovers.size(), 2u);
+  for (const auto& s : r.failovers) {
+    EXPECT_TRUE(s.ok);
+    EXPECT_GT(s.detection_ms, 0.0);
+    EXPECT_GT(s.ots_ms, s.detection_ms);
+  }
+  for (const auto& p : r.samples) {
+    EXPECT_GT(p.randomized_kth_ms, 0.0);  // f+1 nodes always running
+  }
+}
+
+TEST_P(LargeClusterSweep, DynatuneWarmsUpAndTunes) {
+  const std::size_t n = GetParam();
+  scenario::ScenarioSpec spec;
+  spec.name = "scale-dynatune";
+  spec.variant = scenario::Variant::Dynatune;
+  spec.servers = n;
+  spec.seed = 50 + n;
+  spec.topology = scenario::TopologySpec::constant(100ms, 1ms);
+  spec.warmup = 10s;
+  spec.sample_paths = true;
+
+  auto c = scenario::ScenarioRunner::materialize(spec);
+  const scenario::ScenarioResult r = scenario::ScenarioRunner::run_on(*c, spec);
+  ASSERT_TRUE(r.leader_elected);
+  ASSERT_EQ(r.paths.size(), n - 1);
+
+  // A majority of followers warmed up and tuned Et toward the 100 ms RTT.
+  std::size_t warmed = 0;
+  for (const NodeId id : c->server_ids()) {
+    if (id == r.paths_leader) continue;
+    auto& p = policy_of(*c, id);
+    if (p.warmed_up() && p.tuned_election_timeout().has_value()) {
+      EXPECT_NEAR(to_ms(*p.tuned_election_timeout()), 100.0, 25.0) << "node " << id;
+      ++warmed;
+    }
+  }
+  EXPECT_GE(warmed, n / 2 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(N7N9, LargeClusterSweep, ::testing::Values(7u, 9u));
+
+}  // namespace
+}  // namespace dyna

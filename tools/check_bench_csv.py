@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""CI bench-diff gate: compare freshly generated bench CSVs against the
+committed snapshots in bench/reference/.
+
+For every reference file the generated counterpart must exist, carry the
+exact same header (schema) and the same row count. Numeric value cells must
+agree within --rtol/--atol; string cells must match exactly.
+
+micro_core.csv (the Google Benchmark reporter) is special-cased: its timings
+are machine-dependent, so only the schema and the benchmark-name column are
+compared (the preamble context lines are skipped on both sides).
+
+Exit code 0 = no drift; 1 = drift (all mismatches are listed first).
+Stdlib only — no third-party dependencies.
+"""
+
+import argparse
+import csv
+import pathlib
+import sys
+
+# Reference files whose value columns are machine-dependent: compare schema
+# and the `name` column only.
+SCHEMA_ONLY = {"micro_core.csv"}
+
+# Columns that are identities or exact integer counters, never measurements:
+# compared as strings, no tolerance. (A 19-digit seed does not even round-trip
+# through float64, and a drifted `completed` count is a real behaviour change.)
+EXACT_COLUMNS = {"scenario", "variant", "servers", "seed", "kill", "ok", "available",
+                 "completed", "failed"}
+
+
+def read_csv(path):
+    """Read a CSV, skipping any Google-Benchmark context preamble (lines
+    before the header row that starts with 'name,')."""
+    with open(path, newline="") as f:
+        lines = f.read().splitlines()
+    start = 0
+    for i, line in enumerate(lines):
+        if line.startswith("name,"):
+            start = i
+            break
+    rows = list(csv.reader(lines[start:]))
+    if not rows:
+        raise SystemExit(f"error: {path} is empty")
+    return rows[0], rows[1:]
+
+
+def is_number(cell):
+    try:
+        float(cell)
+        return True
+    except ValueError:
+        return False
+
+
+def compare_file(ref_path, gen_path, rtol, atol, schema_only):
+    errors = []
+    ref_header, ref_rows = read_csv(ref_path)
+    gen_header, gen_rows = read_csv(gen_path)
+
+    if ref_header != gen_header:
+        errors.append(f"{ref_path.name}: header drift\n  reference: {ref_header}\n"
+                      f"  generated: {gen_header}")
+        return errors  # cell comparison is meaningless across schemas
+
+    if len(ref_rows) != len(gen_rows):
+        errors.append(f"{ref_path.name}: row count drift "
+                      f"(reference {len(ref_rows)}, generated {len(gen_rows)})")
+
+    if schema_only:
+        # Benchmark names must line up even when timings differ.
+        name_col = ref_header.index("name") if "name" in ref_header else 0
+        ref_names = [r[name_col] for r in ref_rows]
+        gen_names = [r[name_col] for r in gen_rows]
+        if ref_names != gen_names:
+            missing = sorted(set(ref_names) - set(gen_names))
+            added = sorted(set(gen_names) - set(ref_names))
+            errors.append(f"{ref_path.name}: benchmark set drift "
+                          f"(missing {missing}, added {added})")
+        return errors
+
+    exact_cols = {i for i, name in enumerate(ref_header) if name in EXACT_COLUMNS}
+    mismatches = 0
+    for i, (ref_row, gen_row) in enumerate(zip(ref_rows, gen_rows)):
+        if len(ref_row) != len(gen_row):
+            errors.append(f"{ref_path.name}:{i + 2}: cell count drift")
+            continue
+        for col, (a, b) in enumerate(zip(ref_row, gen_row)):
+            if a == b:
+                continue
+            if col not in exact_cols and is_number(a) and is_number(b):
+                fa, fb = float(a), float(b)
+                if abs(fa - fb) <= atol + rtol * max(abs(fa), abs(fb)):
+                    continue
+            mismatches += 1
+            if mismatches <= 10:  # cap the noise; the count below tells the rest
+                errors.append(f"{ref_path.name}:{i + 2}: column "
+                              f"'{ref_header[col]}' drifted: {a} -> {b}")
+    if mismatches > 10:
+        errors.append(f"{ref_path.name}: ... and {mismatches - 10} more drifted cells")
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--generated", required=True, help="directory with fresh CSVs")
+    ap.add_argument("--reference", required=True, help="bench/reference directory")
+    ap.add_argument("--rtol", type=float, default=0.05,
+                    help="relative tolerance for numeric cells (default 0.05)")
+    ap.add_argument("--atol", type=float, default=1e-6,
+                    help="absolute tolerance for numeric cells (default 1e-6)")
+    args = ap.parse_args()
+
+    ref_dir = pathlib.Path(args.reference)
+    gen_dir = pathlib.Path(args.generated)
+    references = sorted(ref_dir.glob("*.csv"))
+    if not references:
+        print(f"error: no reference CSVs under {ref_dir}", file=sys.stderr)
+        return 1
+
+    all_errors = []
+    for ref_path in references:
+        gen_path = gen_dir / ref_path.name
+        if not gen_path.exists():
+            all_errors.append(f"{ref_path.name}: not generated (expected {gen_path})")
+            continue
+        all_errors.extend(compare_file(ref_path, gen_path, args.rtol, args.atol,
+                                       ref_path.name in SCHEMA_ONLY))
+        print(f"checked {ref_path.name}")
+
+    if all_errors:
+        print(f"\nbench-diff gate FAILED ({len(all_errors)} finding(s)):", file=sys.stderr)
+        for e in all_errors:
+            print(f"  {e}", file=sys.stderr)
+        print("\nIf the drift is intended, regenerate the snapshots with the commands in "
+              "bench/reference/README.md and commit them.", file=sys.stderr)
+        return 1
+    print("bench-diff gate passed: schema, row counts and values within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
