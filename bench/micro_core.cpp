@@ -5,6 +5,7 @@
 
 #include "cluster/cluster.hpp"
 #include "common/rng.hpp"
+#include "kvstore/command.hpp"
 #include "dynatune/loss_estimator.hpp"
 #include "dynatune/rtt_estimator.hpp"
 #include "dynatune/tuning.hpp"
@@ -202,11 +203,13 @@ void BM_NetworkSendReliable(benchmark::State& state) {
 BENCHMARK(BM_NetworkSendReliable);
 
 void BM_ClusterHeartbeatSecond(benchmark::State& state) {
-  // One simulated second of idle 5-server cluster traffic (heartbeats,
-  // responses, timers) per iteration.
+  // One simulated second of idle n-server cluster traffic (heartbeats,
+  // responses, timers) per iteration. The n=65 rows are the scaling rows:
+  // leader fan-out and response handling must stay O(n) array walks.
   const bool dynatune = state.range(0) != 0;
-  cluster::ClusterConfig cfg = dynatune ? cluster::make_dynatune_config(5, 11)
-                                        : cluster::make_raft_config(5, 11);
+  const auto n = static_cast<std::size_t>(state.range(1));
+  cluster::ClusterConfig cfg = dynatune ? cluster::make_dynatune_config(n, 11)
+                                        : cluster::make_raft_config(n, 11);
   cluster::Cluster c(std::move(cfg));
   c.await_leader(30s);
   for (auto _ : state) {
@@ -214,7 +217,51 @@ void BM_ClusterHeartbeatSecond(benchmark::State& state) {
   }
   state.SetLabel(dynatune ? "dynatune" : "raft");
 }
-BENCHMARK(BM_ClusterHeartbeatSecond)->Arg(0)->Arg(1);
+BENCHMARK(BM_ClusterHeartbeatSecond)
+    ->Args({0, 5})
+    ->Args({1, 5})
+    ->Args({0, 65})
+    ->Args({1, 65});
+
+void BM_ClusterReplicationSecond(benchmark::State& state) {
+  // One simulated second of steady replication fan-out: a paced stream
+  // submits 256-byte PUTs (over a bounded 256-key working set) in 8-command
+  // bursts, 320 commands/s, so each batch flush ships a multi-entry
+  // AppendEntries to every follower and every replica decodes and applies
+  // every commit. This is the path the shared-log view keeps copy-free:
+  // one suffix materialization per broadcast round, segment adoption on the
+  // follower side, zero-copy command decode in the state machine.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  cluster::ClusterConfig cfg = cluster::make_raft_config(n, 11);
+  cfg.durable_log = false;
+  cluster::Cluster c(std::move(cfg));
+  c.await_leader(30s);
+  std::vector<std::string> payloads;
+  payloads.reserve(256);
+  for (int k = 0; k < 256; ++k) {
+    payloads.push_back(
+        kv::encode({kv::Op::Put, "key-" + std::to_string(k), std::string(256, 'x'), {}}));
+  }
+  std::uint64_t seq = 0;
+  std::function<void()> burst = [&] {
+    if (const NodeId leader = c.current_leader(); leader != kNoNode) {
+      if (auto* node = c.node_if_alive(leader); node != nullptr && node->running()) {
+        for (int i = 0; i < 8; ++i) {
+          raft::Command cmd;
+          cmd.payload = payloads[seq++ % payloads.size()];
+          (void)node->submit(std::move(cmd));
+        }
+      }
+    }
+    c.sim().schedule_after(25ms, [&burst] { burst(); });
+  };
+  c.sim().schedule_after(25ms, [&burst] { burst(); });
+  for (auto _ : state) {
+    c.sim().run_for(1s);
+  }
+  state.SetItemsProcessed(state.iterations() * 320);
+}
+BENCHMARK(BM_ClusterReplicationSecond)->Arg(5)->Arg(15)->Arg(33)->Arg(65);
 
 }  // namespace
 

@@ -10,8 +10,9 @@
 // to the per-follower heartbeat timer.
 #pragma once
 
-#include <map>
+#include <algorithm>
 #include <optional>
+#include <vector>
 
 #include "common/types.hpp"
 #include "dynatune/config.hpp"
@@ -34,8 +35,14 @@ class DynatunePolicy final : public raft::ElectionPolicy {
   }
 
   [[nodiscard]] Duration heartbeat_interval(NodeId follower) const override {
-    const auto it = follower_h_.find(follower);
-    return it != follower_h_.end() ? it->second : cfg_.default_heartbeat;
+    // Dense per-follower table (node ids are dense, 0-based): the leader
+    // reads this on every heartbeat it paces, so it is one indexed load.
+    // Duration{0} marks "not tuned yet" — a tuned h is clamped above zero.
+    const auto i = static_cast<std::size_t>(follower);
+    if (follower < 0 || i >= follower_h_.size() || follower_h_[i] == Duration{0}) {
+      return cfg_.default_heartbeat;
+    }
+    return follower_h_[i];
   }
 
   // ---- Follower side ----------------------------------------------------------
@@ -91,8 +98,10 @@ class DynatunePolicy final : public raft::ElectionPolicy {
   // ---- Leader side ----------------------------------------------------------------
 
   void on_tuned_heartbeat(NodeId follower, Duration h) override {
-    follower_h_[follower] =
-        std::clamp(h, cfg_.min_heartbeat, cfg_.max_election_timeout);
+    if (follower < 0) return;
+    const auto i = static_cast<std::size_t>(follower);
+    if (i >= follower_h_.size()) follower_h_.resize(i + 1, Duration{0});
+    follower_h_[i] = std::clamp(h, cfg_.min_heartbeat, cfg_.max_election_timeout);
   }
 
   void on_became_leader() override {
@@ -126,8 +135,9 @@ class DynatunePolicy final : public raft::ElectionPolicy {
   std::optional<Duration> tuned_et_;
   std::optional<Duration> tuned_h_;
   int consecutive_timeouts_ = 0;
-  // Leader-side per-follower heartbeat intervals (piggybacked by followers).
-  std::map<NodeId, Duration> follower_h_;
+  // Leader-side per-follower heartbeat intervals (piggybacked by followers),
+  // dense-indexed by NodeId; Duration{0} == not tuned.
+  std::vector<Duration> follower_h_;
 };
 
 }  // namespace dyna::dt

@@ -36,6 +36,18 @@ struct KvCommand {
   friend bool operator==(const KvCommand&, const KvCommand&) = default;
 };
 
+/// Zero-copy decode result: fields alias the payload buffer. This is what
+/// the apply path uses — every replica decodes every committed command, so
+/// a decode that allocates three strings is a per-commit, per-node tax that
+/// dominates large-cluster replication benches. Valid only while the payload
+/// string outlives the view (the log entry does — it owns the payload).
+struct KvCommandView {
+  Op op = Op::Get;
+  std::string_view key;
+  std::string_view value;
+  std::string_view expected;
+};
+
 namespace detail {
 
 inline void encode_field(std::string& out, std::string_view field) {
@@ -44,9 +56,9 @@ inline void encode_field(std::string& out, std::string_view field) {
   out += field;
 }
 
-/// Parse one length-prefixed field; advances `pos`. Returns nullopt on
-/// malformed input.
-inline std::optional<std::string> decode_field(std::string_view buf, std::size_t& pos) {
+/// Parse one length-prefixed field as a view into `buf`; advances `pos`.
+/// Returns nullopt on malformed input.
+inline std::optional<std::string_view> decode_field(std::string_view buf, std::size_t& pos) {
   const std::size_t colon = buf.find(':', pos);
   if (colon == std::string_view::npos || colon == pos) return std::nullopt;
   std::size_t len = 0;
@@ -57,7 +69,7 @@ inline std::optional<std::string> decode_field(std::string_view buf, std::size_t
   }
   pos = colon + 1;
   if (pos + len > buf.size()) return std::nullopt;
-  std::string field(buf.substr(pos, len));
+  std::string_view field = buf.substr(pos, len);
   pos += len;
   return field;
 }
@@ -77,9 +89,10 @@ inline std::optional<std::string> decode_field(std::string_view buf, std::size_t
   return out;
 }
 
-[[nodiscard]] inline std::optional<KvCommand> decode(std::string_view payload) {
+/// Decode without copying: the returned views alias `payload`.
+[[nodiscard]] inline std::optional<KvCommandView> decode_view(std::string_view payload) {
   if (payload.empty()) return std::nullopt;
-  KvCommand cmd;
+  KvCommandView cmd;
   switch (payload.front()) {
     case 'P': cmd.op = Op::Put; break;
     case 'G': cmd.op = Op::Get; break;
@@ -90,19 +103,27 @@ inline std::optional<std::string> decode_field(std::string_view buf, std::size_t
   std::size_t pos = 1;
   auto key = detail::decode_field(payload, pos);
   if (!key) return std::nullopt;
-  cmd.key = std::move(*key);
+  cmd.key = *key;
   if (cmd.op == Op::Put || cmd.op == Op::Cas) {
     auto value = detail::decode_field(payload, pos);
     if (!value) return std::nullopt;
-    cmd.value = std::move(*value);
+    cmd.value = *value;
   }
   if (cmd.op == Op::Cas) {
     auto expected = detail::decode_field(payload, pos);
     if (!expected) return std::nullopt;
-    cmd.expected = std::move(*expected);
+    cmd.expected = *expected;
   }
   if (pos != payload.size()) return std::nullopt;  // trailing garbage
   return cmd;
+}
+
+/// Decode into an owning KvCommand (client/test convenience).
+[[nodiscard]] inline std::optional<KvCommand> decode(std::string_view payload) {
+  const auto view = decode_view(payload);
+  if (!view) return std::nullopt;
+  return KvCommand{view->op, std::string(view->key), std::string(view->value),
+                   std::string(view->expected)};
 }
 
 }  // namespace dyna::kv

@@ -8,9 +8,16 @@
 // an index check.
 //
 // Layering note: raft/message.hpp is a header-only *wire description* (plain
-// structs over common/ vocabulary types) with no dependency on the Raft
-// engine, so including it here does not invert the net <- raft layering; the
-// engine in raft/node.* still sits strictly above net. See ARCHITECTURE.md.
+// structs over common/ vocabulary types, plus the shared-log EntryView from
+// raft/log.hpp) with no dependency on the Raft engine, so including it here
+// does not invert the net <- raft layering; the engine in raft/node.* still
+// sits strictly above net. See ARCHITECTURE.md.
+//
+// Copy semantics on the wire: an AppendEntries payload carries an EntryView
+// (segment handle + span), so the copies this class makes — into the
+// in-flight arena, for datagram duplicates, into a paused node's parked
+// queue — are reference-count bumps on an immutable segment, never entry
+// deep-copies. That is what keeps large-cluster fan-out O(n).
 #pragma once
 
 #include <cstdint>

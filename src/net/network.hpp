@@ -178,6 +178,12 @@ class Network {
 
   [[nodiscard]] const NodeTraffic& traffic(NodeId node) const { return state(node).traffic; }
 
+  /// Resident size of the dense n*n link table (the scaling study's memory
+  /// curve — see bench/fig_scale.cpp). Deterministic for a given n and ABI.
+  [[nodiscard]] std::size_t link_table_bytes() const noexcept {
+    return links_.capacity() * sizeof(Link);
+  }
+
   /// Remaining stall time if `node` is stalled at `t` (lazy renewal process).
   [[nodiscard]] Duration stall_penalty(NodeId node, TimePoint t);
 

@@ -1,0 +1,308 @@
+// Shared-log segment store: the zero-copy replication substrate.
+//
+// The Raft log is append-mostly and its replicated suffixes are immutable
+// once written, so the log is held as a chain of ref-counted immutable
+// segments plus one open (mutable) tail:
+//
+//      runs_[0]        runs_[1]     ...   runs_[k]          tail_
+//   [1 .. a]           [a+1 .. b]         [c+1 .. d]     [d+1 .. last]
+//   (segment handle, slice) — contiguous, ascending      plain vector
+//
+// When the leader needs to ship entries it asks for a view(first, count):
+// the open tail is sealed (a move, not a copy) into a fresh segment and the
+// view is a (segment handle, span) pair. Every follower's AppendEntries in
+// the same broadcast round shares the same segment — one suffix
+// materialization per round regardless of follower count, and copying an
+// in-flight message is a reference-count bump instead of a vector deep-copy.
+//
+// The same sharing works on the receive side: a follower whose log ends
+// exactly where an incoming view begins adopts the view's segment into its
+// own run chain (append_view) — replicas of one cluster physically share
+// the immutable bulk of the log, one materialization cluster-wide. This is
+// the shared-relay-log idea production systems use (cf. tarantool's
+// relay/limbo design) transplanted into the simulator.
+//
+// Truncation (follower conflict resolution) is copy-on-write: whole runs
+// past the cut are dropped; a straddling run's surviving prefix is copied
+// into the open tail while outstanding views keep the old immutable segment
+// alive. A view is therefore always valid for the lifetime of its handle,
+// no matter what the log does afterwards.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "raft/types.hpp"
+
+namespace dyna::raft {
+
+/// Immutable, ref-counted run of contiguous log entries. `first_index` is the
+/// Raft index of entries()[0]; entries are never mutated after construction.
+class LogSegment {
+ public:
+  LogSegment(LogIndex first_index, std::vector<LogEntry> entries)
+      : first_(first_index), entries_(std::move(entries)) {
+    DYNA_EXPECTS(first_ >= 1);
+  }
+
+  [[nodiscard]] LogIndex first_index() const noexcept { return first_; }
+  [[nodiscard]] LogIndex last_index() const noexcept { return first_ + entries_.size() - 1; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const LogEntry* data() const noexcept { return entries_.data(); }
+
+ private:
+  LogIndex first_;
+  std::vector<LogEntry> entries_;
+};
+
+using SegmentHandle = std::shared_ptr<const LogSegment>;
+
+/// Cheap shared view over a contiguous span of log entries inside one
+/// segment: a handle plus (first index, count). Copying a view bumps a
+/// reference count; the entries themselves are never copied. This is what
+/// AppendEntries carries on the wire instead of a std::vector<LogEntry>.
+class EntryView {
+ public:
+  EntryView() = default;
+
+  EntryView(SegmentHandle segment, LogIndex first, std::size_t count)
+      : segment_(std::move(segment)),
+        offset_(static_cast<std::uint32_t>(first - segment_->first_index())),
+        count_(static_cast<std::uint32_t>(count)) {
+    DYNA_EXPECTS(segment_ != nullptr);
+    DYNA_EXPECTS(first >= segment_->first_index());
+    DYNA_EXPECTS(first + count - 1 <= segment_->last_index());
+  }
+
+  /// Wrap a loose entry vector in a fresh single-use segment (tests and
+  /// ad-hoc message construction; the replication path goes through
+  /// RaftLog::view instead).
+  [[nodiscard]] static EntryView of(std::vector<LogEntry> entries) {
+    if (entries.empty()) return {};
+    const LogIndex first = entries.front().index;
+    const std::size_t count = entries.size();
+    return EntryView(std::make_shared<const LogSegment>(first, std::move(entries)), first,
+                     count);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  [[nodiscard]] const LogEntry* begin() const noexcept {
+    return count_ == 0 ? nullptr : segment_->data() + offset_;
+  }
+  [[nodiscard]] const LogEntry* end() const noexcept { return begin() + count_; }
+
+  [[nodiscard]] const LogEntry& operator[](std::size_t i) const noexcept {
+    return segment_->data()[offset_ + i];
+  }
+
+  [[nodiscard]] LogIndex first_index() const noexcept {
+    return count_ == 0 ? 0 : segment_->first_index() + offset_;
+  }
+  [[nodiscard]] LogIndex last_index() const noexcept {
+    return count_ == 0 ? 0 : first_index() + count_ - 1;
+  }
+
+  /// Backing segment (RaftLog::append_view adopts it; empty views have none).
+  [[nodiscard]] const SegmentHandle& segment() const noexcept { return segment_; }
+
+  /// Content equality (element-wise); identity of the backing segment is
+  /// irrelevant — a materialized copy and a shared view compare equal.
+  friend bool operator==(const EntryView& a, const EntryView& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  SegmentHandle segment_;
+  std::uint32_t offset_ = 0;
+  std::uint32_t count_ = 0;
+};
+
+/// The Raft log proper: sealed immutable runs + open tail, 1-based and
+/// contiguous from index 1 (no compaction — the experiments replay from the
+/// start). Random access is O(1) in the tail, O(1) through the run hint for
+/// the sequential access patterns Raft has (apply, prev-term checks), and
+/// O(log #runs) otherwise; view() and append_view() are allocation-free on
+/// the broadcast path.
+class RaftLog {
+ public:
+  [[nodiscard]] LogIndex last_index() const noexcept {
+    return tail_first_ - 1 + tail_.size();
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(last_index());
+  }
+  [[nodiscard]] bool empty() const noexcept { return last_index() == 0; }
+
+  /// 1-based access (Raft indices).
+  [[nodiscard]] const LogEntry& entry(LogIndex index) const {
+    DYNA_EXPECTS(index >= 1 && index <= last_index());
+    if (index >= tail_first_) return tail_[static_cast<std::size_t>(index - tail_first_)];
+    const Run& run = run_containing(index);
+    return run.seg->data()[run.offset + (index - run.first)];
+  }
+
+  /// 0-based access (container idiom; entry i has Raft index i+1).
+  [[nodiscard]] const LogEntry& operator[](std::size_t i) const { return entry(i + 1); }
+
+  [[nodiscard]] const LogEntry& front() const { return entry(1); }
+  [[nodiscard]] const LogEntry& back() const { return entry(last_index()); }
+
+  /// Term of the entry at `index`; 0 for the empty prefix (index 0).
+  [[nodiscard]] Term term_at(LogIndex index) const {
+    if (index == 0) return 0;
+    return entry(index).term;
+  }
+
+  /// Append one entry at the end; returns a reference valid until the next
+  /// mutation (the node hands it straight to Storage::append).
+  const LogEntry& append(LogEntry e) {
+    DYNA_EXPECTS(e.index == last_index() + 1);
+    tail_.push_back(std::move(e));
+    return tail_.back();
+  }
+
+  /// Adopt a replicated view wholesale: the view's segment is spliced into
+  /// this log's run chain by reference. The receive-side equivalent of
+  /// view() — the follower's copy of the replicated suffix IS the leader's
+  /// segment, so the cluster holds one materialization of the bulk log.
+  /// Precondition: the view starts exactly at this log's next index.
+  void append_view(const EntryView& v) {
+    if (v.empty()) return;
+    DYNA_EXPECTS(v.first_index() == last_index() + 1);
+    seal_tail();
+    runs_.push_back(Run{v.segment(),
+                        static_cast<std::uint32_t>(v.first_index() - v.segment()->first_index()),
+                        static_cast<std::uint32_t>(v.size()), v.first_index()});
+    tail_first_ = v.last_index() + 1;
+  }
+
+  /// Remove all entries with index >= first_removed. Copy-on-write: views
+  /// handed out earlier keep their (now superseded) segments alive.
+  void truncate_from(LogIndex first_removed) {
+    DYNA_EXPECTS(first_removed >= 1);
+    if (first_removed > last_index()) return;
+    if (first_removed >= tail_first_) {
+      tail_.resize(static_cast<std::size_t>(first_removed - tail_first_));
+      return;
+    }
+    // The cut lands in sealed territory: the whole open tail goes, then
+    // whole runs past the cut.
+    tail_.clear();
+    while (!runs_.empty() && runs_.back().first >= first_removed) {
+      runs_.pop_back();
+    }
+    if (!runs_.empty() && runs_.back().last_index() >= first_removed) {
+      // Straddling run: its surviving prefix becomes the new open tail.
+      const Run run = runs_.back();
+      runs_.pop_back();
+      tail_first_ = run.first;
+      tail_.assign(run.seg->data() + run.offset,
+                   run.seg->data() + run.offset + (first_removed - run.first));
+    } else {
+      tail_first_ = first_removed;
+    }
+    hint_ = 0;
+  }
+
+  /// Invoke fn(entry) for each index in [first, last], walking runs and the
+  /// tail as contiguous arrays — the apply loop's sequential scan without a
+  /// per-entry run lookup.
+  template <typename Fn>
+  void for_each(LogIndex first, LogIndex last, Fn&& fn) const {
+    DYNA_EXPECTS(first >= 1 && last <= last_index());
+    LogIndex i = first;
+    while (i <= last && i < tail_first_) {
+      const Run& run = run_containing(i);
+      const LogIndex stop = std::min(last, run.last_index());
+      const LogEntry* p = run.seg->data() + run.offset + (i - run.first);
+      for (; i <= stop; ++i, ++p) fn(*p);
+    }
+    for (; i <= last; ++i) fn(tail_[static_cast<std::size_t>(i - tail_first_)]);
+  }
+
+  /// Shared view over [first, first + count). Seals the open tail when the
+  /// span reaches into it, so the common broadcast pattern — every follower
+  /// asks for the same fresh suffix — materializes that suffix exactly once
+  /// (as a move) and then hands out reference-counted aliases.
+  [[nodiscard]] EntryView view(LogIndex first, std::size_t count) {
+    if (count == 0) return {};
+    DYNA_EXPECTS(first >= 1 && first + count - 1 <= last_index());
+    const LogIndex last = first + count - 1;
+    if (last >= tail_first_) seal_tail();
+    const Run& run = run_containing(first);
+    if (run.last_index() >= last) {
+      // Runs are always index-aligned with their segment (entry .index
+      // fields are global), so a within-run span shares directly.
+      DYNA_ASSERT(run.first - run.offset == run.seg->first_index());
+      return EntryView(run.seg, first, count);
+    }
+    // Span crosses run boundaries (deep catch-up of a lagging follower):
+    // materialize once for this request.
+    std::vector<LogEntry> merged;
+    merged.reserve(count);
+    for (LogIndex i = first; i <= last; ++i) merged.push_back(entry(i));
+    return EntryView(std::make_shared<const LogSegment>(first, std::move(merged)), first,
+                     count);
+  }
+
+  /// Replace the whole log (crash recovery). Entries must be contiguous and
+  /// 1-based, as Storage guarantees.
+  void assign(std::span<const LogEntry> entries) {
+    runs_.clear();
+    tail_first_ = 1;
+    tail_.assign(entries.begin(), entries.end());
+    hint_ = 0;
+  }
+
+  /// Number of sealed runs (introspection / tests).
+  [[nodiscard]] std::size_t sealed_runs() const noexcept { return runs_.size(); }
+
+ private:
+  /// One sealed slice: `count` entries of `seg` starting at `offset`,
+  /// holding log positions [first, first + count).
+  struct Run {
+    SegmentHandle seg;
+    std::uint32_t offset = 0;
+    std::uint32_t count = 0;
+    LogIndex first = 0;
+
+    [[nodiscard]] LogIndex last_index() const noexcept { return first + count - 1; }
+  };
+
+  void seal_tail() {
+    if (tail_.empty()) return;
+    const std::uint32_t n = static_cast<std::uint32_t>(tail_.size());
+    runs_.push_back(Run{std::make_shared<const LogSegment>(tail_first_, std::move(tail_)), 0,
+                        n, tail_first_});
+    tail_first_ += n;
+    tail_.clear();  // moved-from: make the empty state explicit
+  }
+
+  [[nodiscard]] const Run& run_containing(LogIndex index) const {
+    // Raft's sealed-territory reads cluster on recently written runs (apply
+    // loop, prev-entry term checks), so try the remembered run first and
+    // fall back to binary search.
+    if (hint_ < runs_.size()) {
+      const Run& h = runs_[hint_];
+      if (h.first <= index && index <= h.last_index()) return h;
+    }
+    const auto it =
+        std::upper_bound(runs_.begin(), runs_.end(), index,
+                         [](LogIndex i, const Run& r) { return i < r.first; });
+    DYNA_ASSERT(it != runs_.begin());
+    hint_ = static_cast<std::size_t>((it - 1) - runs_.begin());
+    return *(it - 1);
+  }
+
+  std::vector<Run> runs_;       ///< contiguous, ascending, non-empty
+  std::vector<LogEntry> tail_;  ///< open run after the last sealed slice
+  LogIndex tail_first_ = 1;     ///< Raft index of tail_[0]
+  mutable std::size_t hint_ = 0;  ///< last run touched by run_containing
+};
+
+}  // namespace dyna::raft

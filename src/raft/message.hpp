@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "raft/log.hpp"
 #include "raft/types.hpp"
 
 namespace dyna::raft {
@@ -31,7 +32,10 @@ struct AppendEntriesRequest {
   NodeId leader = kNoNode;
   LogIndex prev_log_index = 0;
   Term prev_log_term = 0;
-  std::vector<LogEntry> entries;
+  /// Shared view into the leader's segment store: copying this message (per
+  /// follower, per in-flight duplicate) bumps a reference count instead of
+  /// deep-copying an entry vector. See raft/log.hpp.
+  EntryView entries;
   LogIndex leader_commit = 0;
   std::optional<HeartbeatMeta> meta;  ///< present on measurement heartbeats
 
@@ -105,23 +109,28 @@ enum class MsgKind : std::uint8_t {
   ClientResponse,
 };
 
-/// Rough wire size used for traffic accounting (bytes).
+/// Rough wire sizes used for traffic accounting (bytes), one overload per
+/// payload type so dispatch sites that already know the alternative (or that
+/// visit for other reasons) don't pay a second variant dispatch.
+[[nodiscard]] inline std::size_t approx_size(const AppendEntriesRequest& r) {
+  std::size_t s = 64;
+  for (const auto& e : r.entries) s += 48 + e.command.payload.size();
+  return s;
+}
+[[nodiscard]] inline std::size_t approx_size(const AppendEntriesResponse&) { return 64; }
+[[nodiscard]] inline std::size_t approx_size(const PreVoteRequest&) { return 48; }
+[[nodiscard]] inline std::size_t approx_size(const PreVoteResponse&) { return 32; }
+[[nodiscard]] inline std::size_t approx_size(const RequestVoteRequest&) { return 48; }
+[[nodiscard]] inline std::size_t approx_size(const RequestVoteResponse&) { return 32; }
+[[nodiscard]] inline std::size_t approx_size(const ClientRequest& r) {
+  return 48 + r.command.payload.size();
+}
+[[nodiscard]] inline std::size_t approx_size(const ClientResponse& r) {
+  return 48 + r.result.size();
+}
+
 [[nodiscard]] inline std::size_t approx_size(const Message& m) {
-  struct Sizer {
-    std::size_t operator()(const AppendEntriesRequest& r) const {
-      std::size_t s = 64;
-      for (const auto& e : r.entries) s += 48 + e.command.payload.size();
-      return s;
-    }
-    std::size_t operator()(const AppendEntriesResponse&) const { return 64; }
-    std::size_t operator()(const PreVoteRequest&) const { return 48; }
-    std::size_t operator()(const PreVoteResponse&) const { return 32; }
-    std::size_t operator()(const RequestVoteRequest&) const { return 48; }
-    std::size_t operator()(const RequestVoteResponse&) const { return 32; }
-    std::size_t operator()(const ClientRequest& r) const { return 48 + r.command.payload.size(); }
-    std::size_t operator()(const ClientResponse& r) const { return 48 + r.result.size(); }
-  };
-  return std::visit(Sizer{}, m);
+  return std::visit([](const auto& p) { return approx_size(p); }, m);
 }
 
 }  // namespace dyna::raft

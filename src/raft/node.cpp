@@ -7,22 +7,28 @@ namespace dyna::raft {
 
 namespace {
 
-[[nodiscard]] MsgKind kind_of(const Message& m) {
-  struct Kinder {
-    MsgKind operator()(const AppendEntriesRequest& r) const {
-      return r.is_heartbeat() ? MsgKind::Heartbeat : MsgKind::Append;
-    }
-    MsgKind operator()(const AppendEntriesResponse& r) const {
-      return r.heartbeat ? MsgKind::HeartbeatResponse : MsgKind::AppendResponse;
-    }
-    MsgKind operator()(const PreVoteRequest&) const { return MsgKind::PreVote; }
-    MsgKind operator()(const PreVoteResponse&) const { return MsgKind::PreVoteResponse; }
-    MsgKind operator()(const RequestVoteRequest&) const { return MsgKind::Vote; }
-    MsgKind operator()(const RequestVoteResponse&) const { return MsgKind::VoteResponse; }
-    MsgKind operator()(const ClientRequest&) const { return MsgKind::Client; }
-    MsgKind operator()(const ClientResponse&) const { return MsgKind::ClientResponse; }
-  };
-  return std::visit(Kinder{}, m);
+[[nodiscard]] inline MsgKind kind_of(const AppendEntriesRequest& r) {
+  return r.is_heartbeat() ? MsgKind::Heartbeat : MsgKind::Append;
+}
+[[nodiscard]] inline MsgKind kind_of(const AppendEntriesResponse& r) {
+  return r.heartbeat ? MsgKind::HeartbeatResponse : MsgKind::AppendResponse;
+}
+[[nodiscard]] inline MsgKind kind_of(const PreVoteRequest&) { return MsgKind::PreVote; }
+[[nodiscard]] inline MsgKind kind_of(const PreVoteResponse&) { return MsgKind::PreVoteResponse; }
+[[nodiscard]] inline MsgKind kind_of(const RequestVoteRequest&) { return MsgKind::Vote; }
+[[nodiscard]] inline MsgKind kind_of(const RequestVoteResponse&) { return MsgKind::VoteResponse; }
+[[nodiscard]] inline MsgKind kind_of(const ClientRequest&) { return MsgKind::Client; }
+[[nodiscard]] inline MsgKind kind_of(const ClientResponse&) { return MsgKind::ClientResponse; }
+
+/// Kind and wire size of a message, computed in one variant dispatch (the
+/// receive path needs both for traffic accounting).
+struct MsgInfo {
+  MsgKind kind;
+  std::size_t bytes;
+};
+
+[[nodiscard]] MsgInfo info_of(const Message& m) {
+  return std::visit([](const auto& p) { return MsgInfo{kind_of(p), approx_size(p)}; }, m);
 }
 
 }  // namespace
@@ -42,6 +48,16 @@ RaftNode::RaftNode(NodeId id, std::vector<NodeId> peers, sim::Simulator& simulat
   DYNA_EXPECTS(storage_ != nullptr);
   DYNA_EXPECTS(policy_ != nullptr);
   DYNA_EXPECTS(std::find(peers_.begin(), peers_.end(), id_) == peers_.end());
+  NodeId max_peer = -1;
+  for (const NodeId p : peers_) {
+    DYNA_EXPECTS(p >= 0);
+    max_peer = std::max(max_peer, p);
+  }
+  peer_slot_.assign(static_cast<std::size_t>(max_peer + 1), -1);
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    peer_slot_[static_cast<std::size_t>(peers_[i])] = static_cast<int>(i);
+  }
+  peer_state_.resize(peers_.size());
 }
 
 void RaftNode::start() {
@@ -49,7 +65,7 @@ void RaftNode::start() {
   auto [term, voted_for] = storage_->load_hard_state();
   term_ = term;
   voted_for_ = voted_for;
-  log_ = storage_->load_log();
+  log_.assign(storage_->load_log());
   running_ = true;
   role_ = Role::Follower;
   leader_ = kNoNode;
@@ -60,7 +76,7 @@ void RaftNode::start() {
 void RaftNode::stop() {
   running_ = false;
   election_timer_.cancel();
-  heartbeat_timers_.clear();
+  for (PeerState& ps : peer_state_) ps.heartbeat_timer.reset();
   broadcast_timer_.reset();
 }
 
@@ -70,9 +86,9 @@ void RaftNode::add_observer(Observer* observer) {
 }
 
 std::optional<Duration> RaftNode::last_measured_rtt(NodeId follower) const {
-  const auto it = last_rtt_.find(follower);
-  if (it == last_rtt_.end()) return std::nullopt;
-  return it->second;
+  const int slot = peer_slot(follower);
+  if (slot < 0 || !peer_state_[static_cast<std::size_t>(slot)].has_rtt) return std::nullopt;
+  return peer_state_[static_cast<std::size_t>(slot)].last_rtt;
 }
 
 // ---- Pause / resume ("container sleep") --------------------------------------
@@ -85,10 +101,11 @@ void RaftNode::pause() {
     frozen_election_remaining_ = election_timer_.deadline() - now;
     election_timer_.cancel();
   }
-  for (auto& [follower, timer] : heartbeat_timers_) {
-    if (timer->armed()) {
-      frozen_heartbeat_remaining_[follower] = timer->deadline() - now;
-      timer->cancel();
+  for (PeerState& ps : peer_state_) {
+    if (ps.heartbeat_timer && ps.heartbeat_timer->armed()) {
+      ps.frozen_heartbeat_remaining = ps.heartbeat_timer->deadline() - now;
+      ps.heartbeat_frozen = true;
+      ps.heartbeat_timer->cancel();
     }
   }
   if (broadcast_timer_ && broadcast_timer_->armed()) {
@@ -106,11 +123,12 @@ void RaftNode::resume() {
   } else if (role_ != Role::Leader) {
     reset_election_timer();
   }
-  for (auto& [follower, remaining] : frozen_heartbeat_remaining_) {
-    const auto it = heartbeat_timers_.find(follower);
-    if (it != heartbeat_timers_.end()) it->second->arm(remaining);
+  for (PeerState& ps : peer_state_) {
+    if (ps.heartbeat_frozen) {
+      if (ps.heartbeat_timer) ps.heartbeat_timer->arm(ps.frozen_heartbeat_remaining);
+      ps.heartbeat_frozen = false;
+    }
   }
-  frozen_heartbeat_remaining_.clear();
   if (frozen_broadcast_remaining_ && broadcast_timer_) {
     broadcast_timer_->arm(*frozen_broadcast_remaining_);
   }
@@ -192,7 +210,7 @@ void RaftNode::become_follower(Term term, NodeId leader) {
   prevote_target_ = 0;  // grants gathered before this step-down are void
   prevote_grants_.clear();
   vote_grants_.clear();
-  heartbeat_timers_.clear();
+  for (PeerState& ps : peer_state_) ps.heartbeat_timer.reset();
   broadcast_timer_.reset();
   notify_role_change(old_role, role_);
   if (term_changed || old_role != Role::Follower) {
@@ -266,14 +284,9 @@ void RaftNode::become_leader() {
   policy_->on_became_leader();
 
   election_timer_.cancel();
-  next_index_.clear();
-  match_index_.clear();
-  next_heartbeat_id_.clear();
-  last_rtt_.clear();
-  last_sent_to_.clear();
-  for (NodeId peer : peers_) {
-    next_index_[peer] = last_log_index() + 1;
-    match_index_[peer] = 0;
+  for (PeerState& ps : peer_state_) {
+    ps = PeerState{};  // fresh reign: no match, no RTT, no suppression state
+    ps.next_index = last_log_index() + 1;
   }
 
   // Commit a no-op for the new term so earlier-term entries become
@@ -281,11 +294,11 @@ void RaftNode::become_leader() {
   LogEntry noop;
   noop.term = term_;
   noop.index = last_log_index() + 1;
-  log_.push_back(noop);
-  storage_->append(std::span<const LogEntry>(&log_.back(), 1));
+  const LogEntry& appended = log_.append(std::move(noop));
+  storage_->append(std::span<const LogEntry>(&appended, 1));
 
-  for (NodeId peer : peers_) {
-    replicate_to(peer);
+  for (std::size_t slot = 0; slot < peer_state_.size(); ++slot) {
+    replicate_to(slot);
   }
   maybe_advance_commit();
   arm_heartbeat_timers();
@@ -295,20 +308,22 @@ void RaftNode::become_leader() {
 
 void RaftNode::arm_heartbeat_timers() {
   if (config_.per_follower_heartbeat) {
-    for (NodeId peer : peers_) {
-      auto timer = std::make_unique<sim::Timer>(*sim_, [this, peer] {
+    for (std::size_t slot = 0; slot < peers_.size(); ++slot) {
+      auto timer = std::make_unique<sim::Timer>(*sim_, [this, slot] {
         if (role_ != Role::Leader || !running_ || paused_) return;
-        send_heartbeat(peer);
-        const auto it = heartbeat_timers_.find(peer);
-        if (it != heartbeat_timers_.end()) it->second->arm(policy_->heartbeat_interval(peer));
+        send_heartbeat(slot);
+        PeerState& ps = peer_state_[slot];
+        if (ps.heartbeat_timer) {
+          ps.heartbeat_timer->arm(policy_->heartbeat_interval(peers_[slot]));
+        }
       });
       // Stagger the initial phase per follower: real per-follower timers are
       // desynchronized, and keeping them so prevents every follower's
       // election timer from being reset in lockstep (which would manufacture
       // artificial split-vote storms on leader failure).
-      const Duration h = policy_->heartbeat_interval(peer);
+      const Duration h = policy_->heartbeat_interval(peers_[slot]);
       timer->arm(h / 2 + from_ms(to_ms(h) * 0.5 * rng_.uniform()));
-      heartbeat_timers_[peer] = std::move(timer);
+      peer_state_[slot].heartbeat_timer = std::move(timer);
     }
   } else {
     broadcast_timer_ = std::make_unique<sim::Timer>(*sim_, [this] {
@@ -332,25 +347,24 @@ Duration RaftNode::broadcast_interval() const {
 }
 
 void RaftNode::broadcast_heartbeats() {
-  for (NodeId peer : peers_) send_heartbeat(peer);
+  for (std::size_t slot = 0; slot < peer_state_.size(); ++slot) send_heartbeat(slot);
 }
 
-void RaftNode::send_heartbeat(NodeId follower) {
+void RaftNode::send_heartbeat(std::size_t slot) {
   if (role_ != Role::Leader) return;
+  PeerState& ps = peer_state_[slot];
+  const NodeId follower = peers_[slot];
   // Heartbeats double as replication retries: if the follower is behind,
   // ship entries instead of an empty beat.
-  if (next_index_[follower] <= last_log_index()) {
-    replicate_to(follower);
+  if (ps.next_index <= last_log_index()) {
+    replicate_to(slot);
     return;
   }
   // §IV-E (a): replication traffic within the current interval already reset
   // the follower's election timer — skip the redundant empty beat.
-  if (config_.suppress_heartbeats_under_load) {
-    const auto it = last_sent_to_.find(follower);
-    if (it != last_sent_to_.end() &&
-        sim_->now() - it->second < policy_->heartbeat_interval(follower)) {
-      return;
-    }
+  if (config_.suppress_heartbeats_under_load && ps.last_sent != kNever &&
+      sim_->now() - ps.last_sent < policy_->heartbeat_interval(follower)) {
+    return;
   }
   AppendEntriesRequest req;
   req.term = term_;
@@ -360,15 +374,14 @@ void RaftNode::send_heartbeat(NodeId follower) {
   req.leader_commit = commit_index_;
   if (config_.measure_network) {
     HeartbeatMeta meta;
-    meta.id = ++next_heartbeat_id_[follower];
+    meta.id = ++ps.next_heartbeat_id;
     meta.send_ts = sim_->now();
-    const auto it = last_rtt_.find(follower);
-    if (it != last_rtt_.end()) meta.measured_rtt = it->second;
+    if (ps.has_rtt) meta.measured_rtt = ps.last_rtt;
     req.meta = meta;
   }
   const auto transport =
       config_.datagram_heartbeats ? net::Transport::Datagram : net::Transport::Reliable;
-  last_sent_to_[follower] = sim_->now();
+  ps.last_sent = sim_->now();
   send(follower, std::move(req), transport, MsgKind::Heartbeat);
 }
 
@@ -384,15 +397,16 @@ void RaftNode::schedule_flush() {
 
 void RaftNode::flush_replication() {
   if (role_ != Role::Leader) return;
-  for (NodeId peer : peers_) {
-    if (next_index_[peer] <= last_log_index()) replicate_to(peer);
+  for (std::size_t slot = 0; slot < peer_state_.size(); ++slot) {
+    if (peer_state_[slot].next_index <= last_log_index()) replicate_to(slot);
   }
   maybe_advance_commit();
 }
 
-void RaftNode::replicate_to(NodeId follower) {
+void RaftNode::replicate_to(std::size_t slot) {
   DYNA_EXPECTS(role_ == Role::Leader);
-  const LogIndex next = next_index_[follower];
+  PeerState& ps = peer_state_[slot];
+  const LogIndex next = ps.next_index;
   AppendEntriesRequest req;
   req.term = term_;
   req.leader = id_;
@@ -403,24 +417,36 @@ void RaftNode::replicate_to(NodeId follower) {
   if (next <= last) {
     const std::size_t count =
         std::min<std::size_t>(last - next + 1, config_.max_entries_per_append);
-    req.entries.assign(log_.begin() + static_cast<std::ptrdiff_t>(next - 1),
-                       log_.begin() + static_cast<std::ptrdiff_t>(next - 1 + count));
+    // Shared view into the segment store: the first request of a broadcast
+    // round seals the fresh suffix (a move); every later follower aliases
+    // the same immutable segment. No per-follower entry copies.
+    req.entries = log_.view(next, count);
     // Pipeline optimistically; rejections rewind next_index below.
-    next_index_[follower] = next + count;
+    ps.next_index = next + count;
   }
   const MsgKind kind = req.entries.empty() ? MsgKind::Heartbeat : MsgKind::Append;
-  last_sent_to_[follower] = sim_->now();
-  send(follower, std::move(req), net::Transport::Reliable, kind);
+  ps.last_sent = sim_->now();
+  send(peers_[slot], std::move(req), net::Transport::Reliable, kind);
 }
 
 void RaftNode::maybe_advance_commit() {
   if (role_ != Role::Leader) return;
-  std::vector<LogIndex> matches;
-  matches.reserve(peers_.size() + 1);
-  matches.push_back(last_log_index());  // leader matches itself
-  for (const auto& [peer, match] : match_index_) matches.push_back(match);
-  std::sort(matches.begin(), matches.end(), std::greater<>());
-  const LogIndex candidate = matches[majority() - 1];
+  // Exact O(n) pre-check: the majority-th largest match can only exceed
+  // commit_index_ when at least `majority` replicas (leader included) match
+  // beyond it. The idle heartbeat path used to allocate and sort an n-wide
+  // vector on every response; now it is one predictable array walk.
+  std::size_t above = last_log_index() > commit_index_ ? 1 : 0;
+  for (const PeerState& ps : peer_state_) {
+    if (ps.match_index > commit_index_) ++above;
+  }
+  if (above < majority()) return;
+
+  match_scratch_.clear();
+  match_scratch_.push_back(last_log_index());  // leader matches itself
+  for (const PeerState& ps : peer_state_) match_scratch_.push_back(ps.match_index);
+  const auto kth = match_scratch_.begin() + static_cast<std::ptrdiff_t>(majority() - 1);
+  std::nth_element(match_scratch_.begin(), kth, match_scratch_.end(), std::greater<>());
+  const LogIndex candidate = *kth;
   if (candidate > commit_index_ && term_at(candidate) == term_) {
     commit_index_ = candidate;
     apply_committed();
@@ -428,9 +454,14 @@ void RaftNode::maybe_advance_commit() {
 }
 
 void RaftNode::apply_committed() {
-  while (last_applied_ < commit_index_) {
+  // Walk [last_applied_+1, commit_index_] as contiguous runs. Applying an
+  // entry cannot re-enter the log or move commit_index_ synchronously
+  // (sends only schedule events), so one pass per call suffices.
+  if (last_applied_ >= commit_index_) return;
+  const LogIndex from = last_applied_ + 1;
+  const LogIndex to = commit_index_;
+  log_.for_each(from, to, [&](const LogEntry& entry) {
     ++last_applied_;
-    const LogEntry& entry = log_[last_applied_ - 1];
     std::string result;
     if (apply_ && !entry.command.is_noop()) result = apply_(entry);
     for (Observer* o : observers_) o->on_entry_committed(id_, entry, sim_->now());
@@ -444,15 +475,16 @@ void RaftNode::apply_committed() {
       send(entry.command.client, std::move(resp), net::Transport::Reliable,
            MsgKind::ClientResponse);
     }
-  }
+  });
 }
 
 // ---- Message dispatch --------------------------------------------------------------
 
 void RaftNode::handle_message(NodeId from, const Message& message) {
   if (!running_ || paused_) return;
+  const MsgInfo info = info_of(message);
   for (Observer* o : observers_) {
-    o->on_message_received(id_, from, kind_of(message), approx_size(message), sim_->now());
+    o->on_message_received(id_, from, info.kind, info.bytes, sim_->now());
   }
   std::visit(
       [&](const auto& m) {
@@ -527,20 +559,29 @@ void RaftNode::on_append_entries(NodeId from, const AppendEntriesRequest& req) {
     resp.success = false;
     resp.conflict_hint = hint;
   } else {
-    // Append any genuinely new entries, truncating on divergence.
-    for (const LogEntry& entry : req.entries) {
-      if (entry.index <= last_log_index()) {
-        if (term_at(entry.index) != entry.term) {
-          storage_->truncate_from(entry.index);
-          log_.resize(entry.index - 1);
-          log_.push_back(entry);
-          storage_->append(std::span<const LogEntry>(&log_.back(), 1));
+    if (!req.entries.empty() && req.entries.first_index() == last_log_index() + 1) {
+      // Pure append (the steady-state case): adopt the leader's immutable
+      // segment by reference — the follower's copy of this suffix IS the
+      // leader's materialization, shared cluster-wide.
+      log_.append_view(req.entries);
+      storage_->append(std::span<const LogEntry>(req.entries.begin(), req.entries.size()));
+    } else {
+      // Overlap with what we already hold: append genuinely new entries,
+      // truncating on divergence, entry by entry.
+      for (const LogEntry& entry : req.entries) {
+        if (entry.index <= last_log_index()) {
+          if (term_at(entry.index) != entry.term) {
+            storage_->truncate_from(entry.index);
+            log_.truncate_from(entry.index);
+            const LogEntry& appended = log_.append(entry);
+            storage_->append(std::span<const LogEntry>(&appended, 1));
+          }
+          // else: duplicate of what we already hold — skip.
+        } else {
+          DYNA_ASSERT(entry.index == last_log_index() + 1);
+          const LogEntry& appended = log_.append(entry);
+          storage_->append(std::span<const LogEntry>(&appended, 1));
         }
-        // else: duplicate of what we already hold — skip.
-      } else {
-        DYNA_ASSERT(entry.index == last_log_index() + 1);
-        log_.push_back(entry);
-        storage_->append(std::span<const LogEntry>(&log_.back(), 1));
       }
     }
     resp.success = true;
@@ -578,33 +619,34 @@ void RaftNode::on_append_response(NodeId from, const AppendEntriesResponse& resp
     return;
   }
   if (role_ != Role::Leader || resp.term < term_) return;
+  const int slot = peer_slot(from);
+  if (slot < 0) return;  // stranger: not one of our peers
+  PeerState& ps = peer_state_[static_cast<std::size_t>(slot)];
 
   // Measurement: RTT from the echoed leader-local timestamp (clock-skew free).
   if (resp.echo_send_ts) {
-    last_rtt_[from] = sim_->now() - *resp.echo_send_ts;
+    ps.last_rtt = sim_->now() - *resp.echo_send_ts;
+    ps.has_rtt = true;
   }
   if (resp.tuned_heartbeat) {
     policy_->on_tuned_heartbeat(from, *resp.tuned_heartbeat);
     // If the freshly tuned interval is shorter than the pending deadline
     // allows, bring the next beat forward (the paper applies h immediately).
-    if (config_.per_follower_heartbeat) {
-      const auto it = heartbeat_timers_.find(from);
-      if (it != heartbeat_timers_.end() && it->second->armed()) {
-        const TimePoint earliest = sim_->now() + *resp.tuned_heartbeat;
-        if (it->second->deadline() > earliest) it->second->arm_at(earliest);
-      }
+    if (config_.per_follower_heartbeat && ps.heartbeat_timer && ps.heartbeat_timer->armed()) {
+      const TimePoint earliest = sim_->now() + *resp.tuned_heartbeat;
+      if (ps.heartbeat_timer->deadline() > earliest) ps.heartbeat_timer->arm_at(earliest);
     }
   }
 
   if (resp.success) {
-    match_index_[from] = std::max(match_index_[from], resp.match_index);
-    next_index_[from] = std::max(next_index_[from], resp.match_index + 1);
+    ps.match_index = std::max(ps.match_index, resp.match_index);
+    ps.next_index = std::max(ps.next_index, resp.match_index + 1);
     maybe_advance_commit();
   } else {
     // Rejection: rewind and retry immediately.
     const LogIndex hint = std::max<LogIndex>(1, resp.conflict_hint);
-    next_index_[from] = std::min(next_index_[from], hint);
-    if (next_index_[from] <= last_log_index()) replicate_to(from);
+    ps.next_index = std::min(ps.next_index, hint);
+    if (ps.next_index <= last_log_index()) replicate_to(static_cast<std::size_t>(slot));
   }
 }
 
@@ -692,20 +734,17 @@ std::optional<LogIndex> RaftNode::submit(Command command) {
   entry.term = term_;
   entry.index = last_log_index() + 1;
   entry.command = std::move(command);
-  log_.push_back(std::move(entry));
-  storage_->append(std::span<const LogEntry>(&log_.back(), 1));
+  const LogIndex index = entry.index;
+  const LogEntry& appended = log_.append(std::move(entry));
+  storage_->append(std::span<const LogEntry>(&appended, 1));
   schedule_flush();
   if (majority() == 1) maybe_advance_commit();  // single-node cluster
-  return log_.back().index;
+  return index;
 }
 
 // ---- Log helpers -----------------------------------------------------------------------
 
-Term RaftNode::term_at(LogIndex index) const {
-  if (index == 0) return 0;
-  DYNA_EXPECTS(index <= log_.size());
-  return log_[index - 1].term;
-}
+Term RaftNode::term_at(LogIndex index) const { return log_.term_at(index); }
 
 bool RaftNode::log_up_to_date(LogIndex their_index, Term their_term) const {
   const Term my_term = term_at(last_log_index());

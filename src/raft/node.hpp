@@ -8,7 +8,6 @@
 // trial is a pure function of (config, seeds, fault schedule).
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -19,6 +18,7 @@
 #include "net/network.hpp"
 #include "raft/config.hpp"
 #include "raft/election_policy.hpp"
+#include "raft/log.hpp"
 #include "raft/message.hpp"
 #include "raft/observer.hpp"
 #include "raft/storage.hpp"
@@ -71,8 +71,8 @@ class RaftNode {
   [[nodiscard]] bool running() const noexcept { return running_ && !paused_; }
   [[nodiscard]] bool paused() const noexcept { return paused_; }
   [[nodiscard]] LogIndex commit_index() const noexcept { return commit_index_; }
-  [[nodiscard]] LogIndex last_log_index() const noexcept { return log_.size(); }
-  [[nodiscard]] const std::vector<LogEntry>& log() const noexcept { return log_; }
+  [[nodiscard]] LogIndex last_log_index() const noexcept { return log_.last_index(); }
+  [[nodiscard]] const RaftLog& log() const noexcept { return log_; }
   [[nodiscard]] ElectionPolicy& policy() noexcept { return *policy_; }
   [[nodiscard]] const RaftConfig& config() const noexcept { return config_; }
 
@@ -109,14 +109,14 @@ class RaftNode {
   void on_vote_response(NodeId from, const RequestVoteResponse& resp);
   void on_client_request(NodeId from, const ClientRequest& req);
 
-  // ---- Leader machinery ----
+  // ---- Leader machinery (peer-indexed: `slot` addresses peers_[slot]) ----
   void arm_heartbeat_timers();
-  void send_heartbeat(NodeId follower);
+  void send_heartbeat(std::size_t slot);
   void broadcast_heartbeats();
   [[nodiscard]] Duration broadcast_interval() const;
   void schedule_flush();
   void flush_replication();
-  void replicate_to(NodeId follower);
+  void replicate_to(std::size_t slot);
   void maybe_advance_commit();
   void apply_committed();
 
@@ -129,9 +129,32 @@ class RaftNode {
   void send(NodeId to, Message message, net::Transport transport, MsgKind kind);
   void notify_role_change(Role from, Role to);
 
+  /// Everything the leader tracks per follower, in one dense vector parallel
+  /// to peers_ (slot i describes peers_[i]). Replaces six node-keyed
+  /// std::maps: heartbeat fan-out and response handling are O(n) array walks
+  /// with no allocation and no red-black-tree pointer chasing.
+  struct PeerState {
+    LogIndex next_index = 0;
+    LogIndex match_index = 0;
+    std::uint64_t next_heartbeat_id = 0;    ///< measurement sequence (Dynatune)
+    Duration last_rtt{0};
+    bool has_rtt = false;
+    TimePoint last_sent = kNever;           ///< heartbeat suppression watermark
+    std::unique_ptr<sim::Timer> heartbeat_timer;  ///< per-follower mode only
+    Duration frozen_heartbeat_remaining{0};       ///< pause() bookkeeping
+    bool heartbeat_frozen = false;
+  };
+
+  /// Dense slot of `peer` in peers_ / peer_state_, or -1 for strangers.
+  [[nodiscard]] int peer_slot(NodeId peer) const noexcept {
+    const auto i = static_cast<std::size_t>(peer);
+    return peer >= 0 && i < peer_slot_.size() ? peer_slot_[i] : -1;
+  }
+
   // ---- Identity / wiring ----
   NodeId id_;
   std::vector<NodeId> peers_;
+  std::vector<int> peer_slot_;  ///< NodeId -> index into peers_/peer_state_
   sim::Simulator* sim_;
   net::Network* net_;
   RaftConfig config_;
@@ -144,7 +167,7 @@ class RaftNode {
   // ---- Persistent state (mirrored in storage_) ----
   Term term_ = 0;
   NodeId voted_for_ = kNoNode;
-  std::vector<LogEntry> log_;  // log_[i] has index i+1
+  RaftLog log_;  ///< segment store; entry i+1 lives at log_[i]
 
   // ---- Volatile state ----
   Role role_ = Role::Follower;
@@ -170,22 +193,16 @@ class RaftNode {
   // Candidate state.
   std::set<NodeId> vote_grants_;
 
-  // Leader state.
-  std::map<NodeId, LogIndex> next_index_;
-  std::map<NodeId, LogIndex> match_index_;
-  std::map<NodeId, std::unique_ptr<sim::Timer>> heartbeat_timers_;  // per-follower mode
-  std::unique_ptr<sim::Timer> broadcast_timer_;                     // broadcast mode
+  // Leader state: one dense PeerState per follower (slot-parallel to peers_),
+  // including measurement plumbing, suppression watermarks, per-follower
+  // heartbeat timers and their pause()-frozen remainders.
+  std::vector<PeerState> peer_state_;
+  std::unique_ptr<sim::Timer> broadcast_timer_;  // broadcast mode
   bool flush_scheduled_ = false;
+  std::vector<LogIndex> match_scratch_;  ///< maybe_advance_commit, reused
 
-  // Measurement plumbing (leader side).
-  std::map<NodeId, std::uint64_t> next_heartbeat_id_;
-  std::map<NodeId, Duration> last_rtt_;
-  // Last instant anything was sent to each follower (heartbeat suppression).
-  std::map<NodeId, TimePoint> last_sent_to_;
-
-  // Pause bookkeeping: remaining durations of timers frozen by pause().
+  // Pause bookkeeping for the node-wide timers.
   std::optional<Duration> frozen_election_remaining_;
-  std::map<NodeId, Duration> frozen_heartbeat_remaining_;
   std::optional<Duration> frozen_broadcast_remaining_;
 };
 

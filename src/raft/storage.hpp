@@ -31,7 +31,11 @@ class Storage {
   /// Remove all entries with index >= first_removed.
   virtual void truncate_from(LogIndex first_removed) = 0;
 
-  [[nodiscard]] virtual std::vector<LogEntry> load_log() const = 0;
+  /// Read-only view of the durable log, valid until the next mutation of
+  /// this Storage. Recovery copies it into the node's segment store once —
+  /// the interface itself never forces a copy (a node with a large log used
+  /// to pay a full vector copy here on every restart).
+  [[nodiscard]] virtual std::span<const LogEntry> load_log() const = 0;
 };
 
 /// Storage that persists hard state but discards the log. For workloads that
@@ -51,7 +55,7 @@ class NullStorage final : public Storage {
 
   void append(std::span<const LogEntry>) override {}
   void truncate_from(LogIndex) override {}
-  [[nodiscard]] std::vector<LogEntry> load_log() const override { return {}; }
+  [[nodiscard]] std::span<const LogEntry> load_log() const override { return {}; }
 
  private:
   Term term_ = 0;
@@ -83,7 +87,7 @@ class MemoryStorage final : public Storage {
     }
   }
 
-  [[nodiscard]] std::vector<LogEntry> load_log() const override { return log_; }
+  [[nodiscard]] std::span<const LogEntry> load_log() const override { return log_; }
 
  private:
   Term term_ = 0;

@@ -10,16 +10,17 @@ namespace {
 TEST(Messages, EmptyAppendIsHeartbeat) {
   AppendEntriesRequest req;
   EXPECT_TRUE(req.is_heartbeat());
-  req.entries.push_back(LogEntry{1, 1, Command{"x", kNoNode, 0}});
+  req.entries = EntryView::of({LogEntry{1, 1, Command{"x", kNoNode, 0}}});
   EXPECT_FALSE(req.is_heartbeat());
 }
 
 TEST(Messages, ApproxSizeGrowsWithEntries) {
   AppendEntriesRequest req;
   const std::size_t empty = approx_size(Message(req));
-  req.entries.push_back(LogEntry{1, 1, Command{std::string(100, 'a'), kNoNode, 0}});
+  req.entries = EntryView::of({LogEntry{1, 1, Command{std::string(100, 'a'), kNoNode, 0}}});
   const std::size_t one = approx_size(Message(req));
-  req.entries.push_back(LogEntry{1, 2, Command{std::string(100, 'b'), kNoNode, 0}});
+  req.entries = EntryView::of({LogEntry{1, 1, Command{std::string(100, 'a'), kNoNode, 0}},
+                               LogEntry{1, 2, Command{std::string(100, 'b'), kNoNode, 0}}});
   const std::size_t two = approx_size(Message(req));
   EXPECT_GT(one, empty + 100);
   EXPECT_NEAR(static_cast<double>(two - one), static_cast<double>(one - empty), 1.0);

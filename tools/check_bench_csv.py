@@ -6,9 +6,20 @@ For every reference file the generated counterpart must exist, carry the
 exact same header (schema) and the same row count. Numeric value cells must
 agree within --rtol/--atol; string cells must match exactly.
 
-micro_core.csv (the Google Benchmark reporter) is special-cased: its timings
-are machine-dependent, so only the schema and the benchmark-name column are
-compared (the preamble context lines are skipped on both sides).
+Machine-dependent timings get a separate, wider band that only arms on a
+pinned runner class: bench/reference/runner_class.txt records the class of
+the machine that generated the committed snapshots, and when the job passes
+a matching --runner-class, timing cells are compared within --timing-rtol
+(default 0.5 — catches hot-path regressions of 2x, ignores runner jitter).
+On any other runner (or without the flag) timing cells are skipped, so the
+gate can never flap on hardware differences:
+
+  * micro_core.csv (the Google Benchmark reporter): schema and benchmark
+    name set are always checked; the real_time/cpu_time columns join in
+    under a matching runner class.
+  * fig_scale.csv: most columns are deterministic (simulated-time metrics,
+    the n*n link-table size) and use the strict band; the wall-clock
+    throughput and RSS columns are timing cells.
 
 Exit code 0 = no drift; 1 = drift (all mismatches are listed first).
 Stdlib only — no third-party dependencies.
@@ -20,8 +31,15 @@ import pathlib
 import sys
 
 # Reference files whose value columns are machine-dependent: compare schema
-# and the `name` column only.
+# and the `name` column always, timing columns only under a pinned runner.
 SCHEMA_ONLY = {"micro_core.csv"}
+
+# Timing columns of SCHEMA_ONLY files (Google Benchmark reporter).
+TIMING_COLUMNS = {"real_time", "cpu_time"}
+
+# Machine-dependent columns of otherwise-deterministic files: skipped unless
+# the runner class matches, then compared within --timing-rtol.
+MACHINE_COLUMNS = {"sim_sec_per_wall_sec", "peak_rss_mib"}
 
 # Columns that are identities or exact integer counters, never measurements:
 # compared as strings, no tolerance. (A 19-digit seed does not even round-trip
@@ -54,7 +72,12 @@ def is_number(cell):
         return False
 
 
-def compare_file(ref_path, gen_path, rtol, atol, schema_only):
+def cells_close(a, b, rtol, atol):
+    fa, fb = float(a), float(b)
+    return abs(fa - fb) <= atol + rtol * max(abs(fa), abs(fb))
+
+
+def compare_file(ref_path, gen_path, rtol, atol, schema_only, timing_banded, timing_rtol):
     errors = []
     ref_header, ref_rows = read_csv(ref_path)
     gen_header, gen_rows = read_csv(gen_path)
@@ -78,20 +101,45 @@ def compare_file(ref_path, gen_path, rtol, atol, schema_only):
             added = sorted(set(gen_names) - set(ref_names))
             errors.append(f"{ref_path.name}: benchmark set drift "
                           f"(missing {missing}, added {added})")
+            return errors
+        if timing_banded:
+            timing_cols = {i for i, name in enumerate(ref_header) if name in TIMING_COLUMNS}
+            for i, (ref_row, gen_row) in enumerate(zip(ref_rows, gen_rows)):
+                for col in timing_cols:
+                    if col >= len(ref_row) or col >= len(gen_row):
+                        continue
+                    a, b = ref_row[col], gen_row[col]
+                    if not (is_number(a) and is_number(b)):
+                        continue
+                    if not cells_close(a, b, timing_rtol, atol):
+                        errors.append(
+                            f"{ref_path.name}:{i + 2}: timing regression in "
+                            f"'{ref_header[col]}' ({ref_row[0]}): {a} -> {b} "
+                            f"(band +-{timing_rtol:.0%})")
         return errors
 
     exact_cols = {i for i, name in enumerate(ref_header) if name in EXACT_COLUMNS}
+    machine_cols = {i for i, name in enumerate(ref_header) if name in MACHINE_COLUMNS}
     mismatches = 0
     for i, (ref_row, gen_row) in enumerate(zip(ref_rows, gen_rows)):
         if len(ref_row) != len(gen_row):
             errors.append(f"{ref_path.name}:{i + 2}: cell count drift")
             continue
         for col, (a, b) in enumerate(zip(ref_row, gen_row)):
+            if col in machine_cols:
+                # Machine-dependent cell: banded on the pinned runner, else skipped.
+                if timing_banded and is_number(a) and is_number(b) and \
+                        not cells_close(a, b, timing_rtol, atol):
+                    mismatches += 1
+                    if mismatches <= 10:
+                        errors.append(f"{ref_path.name}:{i + 2}: timing column "
+                                      f"'{ref_header[col]}' drifted: {a} -> {b} "
+                                      f"(band +-{timing_rtol:.0%})")
+                continue
             if a == b:
                 continue
             if col not in exact_cols and is_number(a) and is_number(b):
-                fa, fb = float(a), float(b)
-                if abs(fa - fb) <= atol + rtol * max(abs(fa), abs(fb)):
+                if cells_close(a, b, rtol, atol):
                     continue
             mismatches += 1
             if mismatches <= 10:  # cap the noise; the count below tells the rest
@@ -110,6 +158,12 @@ def main():
                     help="relative tolerance for numeric cells (default 0.05)")
     ap.add_argument("--atol", type=float, default=1e-6,
                     help="absolute tolerance for numeric cells (default 1e-6)")
+    ap.add_argument("--runner-class", default=None,
+                    help="class of the machine running this check; timing cells are "
+                         "compared only when it matches bench/reference/runner_class.txt")
+    ap.add_argument("--timing-rtol", type=float, default=0.5,
+                    help="relative tolerance for timing cells on the pinned runner "
+                         "(default 0.5)")
     args = ap.parse_args()
 
     ref_dir = pathlib.Path(args.reference)
@@ -119,6 +173,18 @@ def main():
         print(f"error: no reference CSVs under {ref_dir}", file=sys.stderr)
         return 1
 
+    pinned_path = ref_dir / "runner_class.txt"
+    pinned = pinned_path.read_text().strip() if pinned_path.exists() else None
+    timing_banded = args.runner_class is not None and pinned is not None \
+        and args.runner_class == pinned
+    if timing_banded:
+        print(f"runner class '{pinned}' matches: timing cells checked "
+              f"within +-{args.timing_rtol:.0%}")
+    else:
+        print(f"timing cells skipped (runner class {args.runner_class!r} vs "
+              f"pinned {pinned!r}); regenerate snapshots on the pinned runner "
+              f"to arm the band")
+
     all_errors = []
     for ref_path in references:
         gen_path = gen_dir / ref_path.name
@@ -126,7 +192,8 @@ def main():
             all_errors.append(f"{ref_path.name}: not generated (expected {gen_path})")
             continue
         all_errors.extend(compare_file(ref_path, gen_path, args.rtol, args.atol,
-                                       ref_path.name in SCHEMA_ONLY))
+                                       ref_path.name in SCHEMA_ONLY,
+                                       timing_banded, args.timing_rtol))
         print(f"checked {ref_path.name}")
 
     if all_errors:
