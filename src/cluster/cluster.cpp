@@ -46,6 +46,100 @@ Cluster::Cluster(ClusterConfig config) : cfg_(std::move(config)) {
   }
 }
 
+void Cluster::reset(ClusterConfig config) {
+  cfg_ = std::move(config);
+  reset_in_place(/*reconfigure=*/true);
+}
+
+void Cluster::reset(std::uint64_t seed) {
+  cfg_.seed = seed;
+  reset_in_place(/*reconfigure=*/false);
+}
+
+void Cluster::reset_in_place(bool reconfigure) {
+  DYNA_EXPECTS(cfg_.servers >= 1);
+
+  // Node objects survive the reset only when their wiring is provably
+  // unchanged: same config (seed-only reset), same observer set (a perf
+  // model is rebuilt per trial, which moves the observer pointer), and a
+  // policy that knows how to reset itself. Everything else rebuilds.
+  const bool rebuild_nodes =
+      reconfigure || nodes_.size() != cfg_.servers || cfg_.perf_cost.has_value();
+
+  // Nodes to be rebuilt are destroyed first: their timer destructors cancel
+  // against the *old* simulator state. Destroying them after the reset could
+  // cancel fresh events whose (slot, generation) collides with a stale id.
+  // Kept nodes still hold stale timer handles across the reset — harmless,
+  // because reset_for_trial() forgets them without cancelling.
+  for (auto& n : nodes_) {
+    if (n != nullptr && (rebuild_nodes || !n->policy().resettable_for_trial())) {
+      n.reset();
+    }
+  }
+
+  sim_.reset();
+  probe_.clear();
+
+  Rng master(cfg_.seed);  // same stream derivation as the constructor
+  if (reconfigure) {
+    net_->reset_for_trial(master.fork(1), cfg_.servers, cfg_.transport);
+    net_->set_default_schedule(cfg_.links);
+  } else {
+    net_->reset_for_trial(master.fork(1), cfg_.servers);
+  }
+
+  if (reconfigure && !cfg_.policy_factory) {
+    const Duration et = cfg_.raft.election_timeout;
+    const Duration h = cfg_.raft.heartbeat_interval;
+    cfg_.policy_factory = [et, h](NodeId) {
+      return std::make_unique<raft::StaticPolicy>(et, h);
+    };
+  }
+
+  // The perf model accumulates per-trial counters: rebuild whenever enabled.
+  perf_.reset();
+  if (cfg_.perf_cost) {
+    perf_ = std::make_unique<PerfModel>(*cfg_.perf_cost, cfg_.perf_bin);
+  }
+
+  storages_.resize(cfg_.servers);
+  state_machines_.resize(cfg_.servers);
+  nodes_.resize(cfg_.servers);
+  service_.resize(cfg_.servers);
+
+  for (std::size_t i = 0; i < cfg_.servers; ++i) {
+    const bool have_durable =
+        dynamic_cast<raft::MemoryStorage*>(storages_[i].get()) != nullptr;
+    if (storages_[i] == nullptr || cfg_.durable_log != have_durable) {
+      if (cfg_.durable_log) {
+        storages_[i] = std::make_shared<raft::MemoryStorage>();
+      } else {
+        storages_[i] = std::make_shared<raft::NullStorage>();
+      }
+    } else {
+      storages_[i]->reset_for_trial();  // keeps the log buffer capacity
+    }
+    if (service_[i] == nullptr) {
+      service_[i] = std::make_unique<ServiceQueue>(sim_);
+    } else {
+      service_[i]->reset_for_trial();
+    }
+  }
+
+  for (std::size_t i = 0; i < cfg_.servers; ++i) {
+    if (nodes_[i] != nullptr) {
+      // In-place path: fresh state machine, node rewound to construction
+      // state with the same RNG derivation the constructor would use.
+      state_machines_[i]->reset_for_trial();
+      nodes_[i]->reset_for_trial(
+          Rng(derive_seed(cfg_.seed, 0x1000 + static_cast<std::uint64_t>(i))));
+      nodes_[i]->start();
+    } else {
+      build_node(static_cast<NodeId>(i));
+    }
+  }
+}
+
 std::vector<NodeId> Cluster::server_ids() const {
   std::vector<NodeId> ids(cfg_.servers);
   for (std::size_t i = 0; i < cfg_.servers; ++i) ids[i] = static_cast<NodeId>(i);
@@ -74,22 +168,27 @@ void Cluster::build_node(NodeId id) {
   for (raft::Observer* o : cfg_.observers) node->add_observer(o);
   nodes_[idx] = std::move(node);
 
-  net_->set_handler(id, [this, id, idx](NodeId from, const net::Message& payload) {
-    raft::RaftNode* n = nodes_[idx].get();
-    if (n == nullptr || !n->running()) return;
-    const raft::Message* msg = payload.raft();
-    if (msg == nullptr) return;
-    if (cfg_.request_service_time > Duration{0} &&
-        std::holds_alternative<raft::ClientRequest>(*msg)) {
-      // Client requests pass through the CPU before reaching consensus.
-      service_[idx]->enqueue(service_time_for(id), [this, idx, from, m = *msg] {
-        raft::RaftNode* alive = nodes_[idx].get();
-        if (alive != nullptr && alive->running()) alive->handle_message(from, m);
-      });
-      return;
-    }
-    n->handle_message(from, *msg);
-  });
+  // The handler closure only captures stable identity (this cluster, this
+  // index) and reads the config through `this`, so one installation serves
+  // every trial of a reused substrate — no per-trial std::function rebuild.
+  if (!net_->has_handler(id)) {
+    net_->set_handler(id, [this, id, idx](NodeId from, const net::Message& payload) {
+      raft::RaftNode* n = nodes_[idx].get();
+      if (n == nullptr || !n->running()) return;
+      const raft::Message* msg = payload.raft();
+      if (msg == nullptr) return;
+      if (cfg_.request_service_time > Duration{0} &&
+          std::holds_alternative<raft::ClientRequest>(*msg)) {
+        // Client requests pass through the CPU before reaching consensus.
+        service_[idx]->enqueue(service_time_for(id), [this, idx, from, m = *msg] {
+          raft::RaftNode* alive = nodes_[idx].get();
+          if (alive != nullptr && alive->running()) alive->handle_message(from, m);
+        });
+        return;
+      }
+      n->handle_message(from, *msg);
+    });
+  }
 
   nodes_[idx]->start();
 }
@@ -126,11 +225,24 @@ NodeId Cluster::current_leader() const {
 
 bool Cluster::await_leader(Duration timeout) {
   const TimePoint deadline = sim_.now() + timeout;
+  // current_leader() walks every node. Between two polls its answer can only
+  // change if some node changed role, and the probe observes every role
+  // change — so recompute only when the probe's event count moves. (Nothing
+  // can pause/crash a node *during* this loop; those faults are injected by
+  // driver code between sim advances.) Poll schedule and result are
+  // identical to the plain loop, which is what keeps traces bit-identical.
+  std::size_t seen = probe_.role_changes().size();
+  NodeId leader = current_leader();
   while (sim_.now() < deadline) {
-    if (current_leader() != kNoNode) return true;
+    if (leader != kNoNode) return true;
     sim_.run_for(std::chrono::milliseconds(10));
+    const std::size_t changes = probe_.role_changes().size();
+    if (changes != seen) {
+      seen = changes;
+      leader = current_leader();
+    }
   }
-  return current_leader() != kNoNode;
+  return leader != kNoNode;
 }
 
 Duration Cluster::randomized_timeout_kth(std::size_t k) const {

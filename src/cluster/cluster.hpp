@@ -69,6 +69,23 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
+  /// Rebuild-in-place for a new trial: observationally identical to
+  /// destroying this cluster and constructing a fresh one from `config`, but
+  /// reusing the warmed allocations — the simulator's event containers, the
+  /// network's n*n link table / in-flight arena / handler closures, the
+  /// per-server storage buffers and service queues. Node objects are rebuilt
+  /// (a trial starts from a cold deployment), everything beneath them is
+  /// reset, not reallocated. Fresh-construction equivalence is the reset
+  /// contract pinned by tests/test_trial_reuse.cpp; external observers in
+  /// `config.observers` see consecutive trials and must cope on their own.
+  void reset(ClusterConfig config);
+
+  /// Seed-only fast path: identical to reset(config) where only
+  /// `config.seed` differs from the current one. Skips re-copying the link
+  /// schedule / transport config into the network (one allocation-heavy copy
+  /// per trial on a 10k-trial sweep).
+  void reset(std::uint64_t seed);
+
   // ---- Accessors ----
   [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
   [[nodiscard]] net::Network& network() noexcept { return *net_; }
@@ -106,6 +123,7 @@ class Cluster {
 
  private:
   void build_node(NodeId id);
+  void reset_in_place(bool reconfigure);
   [[nodiscard]] Duration service_time_for(NodeId id) const;
 
   ClusterConfig cfg_;

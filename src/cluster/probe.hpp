@@ -100,10 +100,14 @@ class Probe final : public raft::Observer {
     return n;
   }
 
+  /// Forget everything, clock offsets included (trial reuse: the next trial
+  /// starts from a probe indistinguishable from a fresh one). Event-vector
+  /// capacity survives.
   void clear() {
     role_changes_.clear();
     timeouts_.clear();
     leaders_.clear();
+    clock_offset_.clear();
   }
 
  private:

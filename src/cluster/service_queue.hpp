@@ -43,6 +43,14 @@ class ServiceQueue {
   [[nodiscard]] std::uint64_t admitted() const noexcept { return admitted_; }
   [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
 
+  /// Back to an empty server (trial reuse). Pending completion events died
+  /// with the simulator reset; this clears the backlog watermark + counters.
+  void reset_for_trial() noexcept {
+    next_free_ = kSimEpoch;
+    admitted_ = 0;
+    completed_ = 0;
+  }
+
  private:
   sim::Simulator* sim_;
   TimePoint next_free_ = kSimEpoch;

@@ -7,11 +7,19 @@
 // The window is capped at maxListSize; the oldest (smallest) ids are dropped,
 // and stale ids below the window are ignored so eviction cannot re-widen the
 // span.
+//
+// Storage is a flat sorted vector with a lazily-compacted front offset
+// instead of a std::set: this runs once per received heartbeat (the
+// Dynatune measurement hot path), ids arrive almost always in ascending
+// order (append at the back), and eviction is an offset bump amortized to
+// O(1) — no per-heartbeat node allocation, no red-black-tree rebalancing.
+// Out-of-order arrivals pay one bounded memmove (the window is small).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <set>
+#include <vector>
 
 #include "common/check.hpp"
 
@@ -25,31 +33,50 @@ class LossEstimator {
 
   /// Record a received heartbeat id. Returns false for duplicates/stale ids.
   bool record(std::uint64_t id) {
-    if (!ids_.empty() && ids_.size() >= max_size_ && id < *ids_.begin()) {
+    const std::size_t n = count();
+    if (n >= max_size_ && id < ids_[begin_]) {
       return false;  // below the retained window: stale straggler
     }
-    const auto [it, inserted] = ids_.insert(id);
-    if (!inserted) return false;  // duplicate delivery
-    if (ids_.size() > max_size_) ids_.erase(ids_.begin());
+    if (n == 0 || id > ids_.back()) {
+      ids_.push_back(id);  // in-order arrival: the overwhelmingly common case
+    } else {
+      const auto it = std::lower_bound(ids_.begin() + static_cast<std::ptrdiff_t>(begin_),
+                                       ids_.end(), id);
+      if (it != ids_.end() && *it == id) return false;  // duplicate delivery
+      ids_.insert(it, id);
+    }
+    if (count() > max_size_) {
+      ++begin_;  // evict the oldest id; reclaim the prefix only occasionally
+      if (begin_ >= max_size_) {
+        ids_.erase(ids_.begin(), ids_.begin() + static_cast<std::ptrdiff_t>(begin_));
+        begin_ = 0;
+      }
+    }
     return true;
   }
 
-  [[nodiscard]] std::size_t count() const noexcept { return ids_.size(); }
+  [[nodiscard]] std::size_t count() const noexcept { return ids_.size() - begin_; }
 
   /// Estimated loss rate over the window; 0 until two ids are present.
   [[nodiscard]] double loss_rate() const noexcept {
-    if (ids_.size() < 2) return 0.0;
-    const std::uint64_t expected = *ids_.rbegin() - *ids_.begin() + 1;
-    DYNA_ASSERT(expected >= ids_.size());
-    return 1.0 - static_cast<double>(ids_.size()) / static_cast<double>(expected);
+    const std::size_t n = count();
+    if (n < 2) return 0.0;
+    const std::uint64_t expected = ids_.back() - ids_[begin_] + 1;
+    DYNA_ASSERT(expected >= n);
+    return 1.0 - static_cast<double>(n) / static_cast<double>(expected);
   }
 
-  /// Discard everything (fallback / leader change: back to Step 0).
-  void reset() noexcept { ids_.clear(); }
+  /// Discard everything (fallback / leader change: back to Step 0). Buffer
+  /// capacity survives — this also runs on trial reuse.
+  void reset() noexcept {
+    ids_.clear();
+    begin_ = 0;
+  }
 
  private:
   std::size_t max_size_;
-  std::set<std::uint64_t> ids_;
+  std::vector<std::uint64_t> ids_;  ///< ascending; live window = [begin_, end)
+  std::size_t begin_ = 0;
 };
 
 }  // namespace dyna::dt

@@ -120,6 +120,16 @@ class DynatunePolicy final : public raft::ElectionPolicy {
   [[nodiscard]] std::optional<Duration> tuned_heartbeat() const noexcept { return tuned_h_; }
   [[nodiscard]] bool warmed_up() const noexcept { return rtt_.count() >= cfg_.min_list_size; }
 
+  // ---- Trial reuse ------------------------------------------------------------------
+
+  [[nodiscard]] bool resettable_for_trial() const override { return true; }
+
+  void reset_for_trial() override {
+    fall_back();  // clears estimators (capacity kept) and tuned parameters
+    consecutive_timeouts_ = 0;
+    follower_h_.clear();
+  }
+
  private:
   void fall_back() {
     rtt_.reset();

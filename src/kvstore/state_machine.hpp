@@ -88,6 +88,13 @@ class KvStateMachine final : public StateMachine {
   [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
   [[nodiscard]] const Store& data() const noexcept { return data_; }
 
+  /// Empty store, revision 0 — a brand-new replica. Keeps the hash table's
+  /// bucket array (trial reuse).
+  void reset_for_trial() {
+    data_.clear();
+    revision_ = 0;
+  }
+
  private:
   /// "OK <revision>" without the snprintf detour inside std::to_string.
   [[nodiscard]] static std::string ok_result(std::uint64_t rev) {

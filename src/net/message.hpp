@@ -38,8 +38,11 @@ class Message {
  public:
   Message() = default;
 
-  Message(raft::Message m) : payload_(std::move(m)) {}  // NOLINT(google-explicit-constructor)
-  Message(TestPayload p) : payload_(p) {}               // NOLINT(google-explicit-constructor)
+  // NOLINTNEXTLINE(google-explicit-constructor): payload wrapper
+  Message(raft::Message&& m) : payload_(std::move(m)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Message(const raft::Message& m) : payload_(m) {}
+  Message(TestPayload p) : payload_(p) {}  // NOLINT(google-explicit-constructor)
 
   /// Convenience for the unit suites: send(a, b, 7, ...) builds a TestPayload.
   Message(int value) : payload_(TestPayload{value}) {}  // NOLINT(google-explicit-constructor)

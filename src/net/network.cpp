@@ -42,6 +42,35 @@ void Network::roll_stall(StallWindow& w) {
   w.end = w.start + from_ms(dur_ms);
 }
 
+void Network::reset_for_trial(Rng rng, std::size_t node_count) {
+  DYNA_EXPECTS(node_count >= 1);
+  rng_ = std::move(rng);
+  const bool resized = node_count != nodes_.size();
+  nodes_.resize(node_count);
+  for (NodeState& n : nodes_) {
+    n.paused = false;
+    n.parked.clear();
+    n.traffic = NodeTraffic{};
+    n.stall = StallWindow{};
+  }
+  if (resized) {
+    // Different cluster size: re-stride from scratch (Link is move-only, so
+    // a fresh dense table is simpler than salvaging the old stride).
+    links_.clear();
+    links_.resize(node_count * node_count);
+  } else {
+    for (Link& l : links_) {
+      l.override_schedule.reset();
+      l.reliable_last_delivery = kSimEpoch;
+      l.stream = StreamState{};
+      l.blocked = false;
+    }
+  }
+  // In-flight payloads whose delivery events died with the simulator reset.
+  arena_.clear();
+  arena_free_.clear();
+}
+
 void Network::grow_links() {
   const std::size_t n = nodes_.size();
   const std::size_t old_n = n - 1;
@@ -54,7 +83,7 @@ void Network::grow_links() {
   links_ = std::move(grown);
 }
 
-std::uint32_t Network::arena_acquire(Message payload) {
+std::uint32_t Network::arena_acquire(Message&& payload) {
   std::uint32_t slot;
   if (!arena_free_.empty()) {
     slot = arena_free_.back();
@@ -100,7 +129,7 @@ void Network::send(NodeId from, NodeId to, Message payload, Transport transport,
     }
     const bool duplicated = rng_.bernoulli(cond.duplicate);
     if (duplicated) {
-      schedule_delivery(l, from, to, payload, transport, bytes, delay);
+      schedule_delivery(l, from, to, Message(payload), transport, bytes, delay);
       // The duplicate takes an independent path through the network.
       schedule_delivery(l, from, to, std::move(payload), transport, bytes,
                         sample_one_way_delay(cond));
@@ -143,7 +172,7 @@ void Network::send(NodeId from, NodeId to, Message payload, Transport transport,
   schedule_delivery(l, from, to, std::move(payload), transport, bytes, delay);
 }
 
-void Network::schedule_delivery(Link& l, NodeId from, NodeId to, Message payload,
+void Network::schedule_delivery(Link& l, NodeId from, NodeId to, Message&& payload,
                                 Transport transport, std::size_t bytes, Duration delay) {
   TimePoint when = sim_->now() + delay;
   if (transport == Transport::Reliable) {

@@ -121,7 +121,30 @@ class Network {
     state(node).handler = std::move(handler);
   }
 
+  [[nodiscard]] bool has_handler(NodeId node) const {
+    return static_cast<bool>(state(node).handler);
+  }
+
   [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// Return to the freshly-built state for a new trial while keeping the big
+  /// allocations warm: the dense n*n link table, the in-flight message arena
+  /// and the per-node state vectors stay allocated; the RNG is replaced and
+  /// all per-trial state (traffic counters, stall windows, pause/parked
+  /// queues, link overrides, FIFO watermarks, TCP stream state, partition
+  /// flags) is cleared. Node handlers are configuration, not trial state, and
+  /// survive for the node indices that survive; `node_count` resizes the
+  /// tables when the next trial needs a different cluster size. The reset
+  /// contract (fresh-construction equivalence) is pinned by
+  /// tests/test_trial_reuse.cpp.
+  void reset_for_trial(Rng rng, std::size_t node_count);
+
+  /// Same, additionally replacing the transport config (sweeps whose cells
+  /// vary retransmit/stall/turbulence knobs).
+  void reset_for_trial(Rng rng, std::size_t node_count, Config config) {
+    config_ = config;
+    reset_for_trial(std::move(rng), node_count);
+  }
 
   /// Default schedule for every link without a specific override.
   void set_default_schedule(ConditionSchedule schedule) {
@@ -263,12 +286,14 @@ class Network {
                std::size_t bytes);
 
   /// `l` must be the (from,to) link — send() already holds it, so the hot
-  /// path does not resolve the table index twice.
-  void schedule_delivery(Link& l, NodeId from, NodeId to, Message payload,
+  /// path does not resolve the table index twice. Takes the payload by
+  /// rvalue: one move from the sender's stack straight into the arena slot
+  /// (the old by-value chain moved the variant three extra times per send).
+  void schedule_delivery(Link& l, NodeId from, NodeId to, Message&& payload,
                          Transport transport, std::size_t bytes, Duration delay);
 
   /// Park `payload` in the in-flight arena; returns its slot.
-  std::uint32_t arena_acquire(Message payload);
+  std::uint32_t arena_acquire(Message&& payload);
 
   /// Move the payload out of `slot` and recycle it.
   Message arena_release(std::uint32_t slot);

@@ -46,6 +46,16 @@ class ElectionPolicy {
   /// This node just became leader: any per-follower leader-side state from a
   /// previous reign must reset.
   virtual void on_became_leader() {}
+
+  /// Whether the harness may reuse this policy object across independent
+  /// trials via reset_for_trial(). The safe default is false: an unknown
+  /// (user-supplied) policy forces a fresh policy/node per trial instead of
+  /// risking state leaking between trials.
+  [[nodiscard]] virtual bool resettable_for_trial() const { return false; }
+
+  /// Return to the freshly-constructed state, keeping buffer capacity.
+  /// Called only when resettable_for_trial() is true.
+  virtual void reset_for_trial() {}
 };
 
 /// Baseline policy: the static parameters every mainstream Raft deployment
@@ -57,6 +67,9 @@ class StaticPolicy final : public ElectionPolicy {
 
   [[nodiscard]] Duration election_timeout() const override { return et_; }
   [[nodiscard]] Duration heartbeat_interval(NodeId) const override { return h_; }
+
+  [[nodiscard]] bool resettable_for_trial() const override { return true; }
+  void reset_for_trial() override {}  // stateless
 
  private:
   Duration et_;

@@ -80,6 +80,48 @@ void RaftNode::stop() {
   broadcast_timer_.reset();
 }
 
+void RaftNode::reset_for_trial(Rng rng) {
+  DYNA_EXPECTS(policy_->resettable_for_trial());
+  rng_ = std::move(rng);
+  policy_->reset_for_trial();
+
+  // Timer handles predate the simulator reset: forget them (cancelling could
+  // hit an unrelated fresh event with a colliding slot/generation).
+  election_timer_.forget();
+  for (PeerState& ps : peer_state_) {
+    if (ps.heartbeat_timer) ps.heartbeat_timer->forget();
+    ps.heartbeat_timer.reset();
+    ps = PeerState{};
+  }
+  if (broadcast_timer_) broadcast_timer_->forget();
+  broadcast_timer_.reset();
+
+  // Persistent-state mirrors and the log: start() reloads them from the
+  // (reset) storage; clearing here keeps the segment store's tail capacity.
+  term_ = 0;
+  voted_for_ = kNoNode;
+
+  role_ = Role::Follower;
+  leader_ = kNoNode;
+  commit_index_ = 0;
+  last_applied_ = 0;
+  running_ = false;
+  paused_ = false;
+
+  randomized_timeout_ = Duration{};
+  randomized_base_ = Duration{};
+  last_leader_contact_ = kSimEpoch;
+
+  prevote_target_ = 0;
+  prevote_grants_.clear();
+  vote_grants_.clear();
+
+  flush_scheduled_ = false;
+  match_scratch_.clear();
+  frozen_election_remaining_.reset();
+  frozen_broadcast_remaining_.reset();
+}
+
 void RaftNode::add_observer(Observer* observer) {
   DYNA_EXPECTS(observer != nullptr);
   observers_.push_back(observer);

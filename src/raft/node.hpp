@@ -42,6 +42,15 @@ class RaftNode {
   /// Begin operating (arm the election timer). Reloads persistent state.
   void start();
 
+  /// Rebuild-in-place for trial reuse: return every member to its
+  /// freshly-constructed value (buffer capacity kept) with a new RNG, so a
+  /// subsequent start() is indistinguishable from starting a brand-new node
+  /// over the same (already reset) Storage. Preconditions: the owning
+  /// harness has reset the Simulator and Storage, and the policy is
+  /// resettable_for_trial(). Stale timer handles are forgotten, never
+  /// cancelled — after a simulator reset they could alias fresh events.
+  void reset_for_trial(Rng rng);
+
   /// Permanently stop (crash). Timers cancelled; messages ignored. Restart
   /// by constructing a fresh node over the same Storage.
   void stop();

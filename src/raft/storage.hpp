@@ -36,6 +36,12 @@ class Storage {
   /// the interface itself never forces a copy (a node with a large log used
   /// to pay a full vector copy here on every restart).
   [[nodiscard]] virtual std::span<const LogEntry> load_log() const = 0;
+
+  /// Wipe everything — the disk of a brand-new deployment. Distinct from
+  /// crash/restart (which persists): this is the trial-reuse path, where one
+  /// Storage object serves consecutive independent trials and must keep its
+  /// buffer capacity while dropping all content.
+  virtual void reset_for_trial() = 0;
 };
 
 /// Storage that persists hard state but discards the log. For workloads that
@@ -56,6 +62,11 @@ class NullStorage final : public Storage {
   void append(std::span<const LogEntry>) override {}
   void truncate_from(LogIndex) override {}
   [[nodiscard]] std::span<const LogEntry> load_log() const override { return {}; }
+
+  void reset_for_trial() override {
+    term_ = 0;
+    voted_for_ = kNoNode;
+  }
 
  private:
   Term term_ = 0;
@@ -88,6 +99,12 @@ class MemoryStorage final : public Storage {
   }
 
   [[nodiscard]] std::span<const LogEntry> load_log() const override { return log_; }
+
+  void reset_for_trial() override {
+    term_ = 0;
+    voted_for_ = kNoNode;
+    log_.clear();  // capacity survives for the next trial's log
+  }
 
  private:
   Term term_ = 0;

@@ -1,0 +1,46 @@
+#include "scenario/registry.hpp"
+
+namespace dyna::scenario {
+
+PolicyRegistry& PolicyRegistry::global() {
+  static PolicyRegistry instance;
+  return instance;
+}
+
+void PolicyRegistry::add(std::string name, Factory factory) {
+  DYNA_EXPECTS(!name.empty());
+  DYNA_EXPECTS(factory != nullptr);
+  std::lock_guard lock(mu_);
+  factories_[std::move(name)] = std::move(factory);
+}
+
+bool PolicyRegistry::contains(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  return factories_.find(name) != factories_.end();
+}
+
+std::vector<std::string> PolicyRegistry::names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;  // std::map iteration order: already sorted
+}
+
+cluster::ClusterConfig PolicyRegistry::make(std::string_view name, std::size_t servers,
+                                            std::uint64_t seed) const {
+  Factory factory;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = factories_.find(name);
+    DYNA_EXPECTS(it != factories_.end());
+    factory = it->second;  // copy: never hold the lock across user code
+  }
+  cluster::ClusterConfig cfg = factory(servers, seed);
+  cfg.servers = servers;
+  cfg.seed = seed;
+  cfg.name = std::string(name);
+  return cfg;
+}
+
+}  // namespace dyna::scenario

@@ -1,10 +1,14 @@
 #include "scenario/runner.hpp"
 
 #include <algorithm>
+#include <map>
+#include <mutex>
 
 #include "common/stats.hpp"
 #include "kvstore/client.hpp"
 #include "parallel/trial_runner.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sink.hpp"
 #include "workload/open_loop.hpp"
 
 namespace dyna::scenario {
@@ -20,6 +24,8 @@ cluster::ClusterConfig build_config(const ScenarioSpec& spec, std::size_t server
   cluster::ClusterConfig cfg;
   if (spec.config_factory) {
     cfg = spec.config_factory(servers, seed);
+  } else if (!spec.policy.empty()) {
+    cfg = PolicyRegistry::global().make(spec.policy, servers, seed);
   } else {
     switch (spec.variant) {
       case Variant::Raft:
@@ -210,17 +216,23 @@ std::vector<PathSample> record_paths(cluster::Cluster& c, NodeId leader) {
   return paths;
 }
 
+/// The per-pair topology layers applied on top of the compiled config (the
+/// link-table state Cluster::reset deliberately clears between trials).
+void apply_topology(cluster::Cluster& c, const ScenarioSpec& spec) {
+  if (spec.topology.wan) {
+    DYNA_EXPECTS(spec.topology.wan->size() >= spec.servers);
+    spec.topology.wan->apply(c.network());
+  }
+  for (const auto& o : spec.topology.overrides) {
+    c.network().set_link_schedule(o.from, o.to, o.schedule);
+  }
+}
+
 }  // namespace
 
 std::unique_ptr<cluster::Cluster> ScenarioRunner::materialize(const ScenarioSpec& spec) {
   auto c = std::make_unique<cluster::Cluster>(build_config(spec, spec.servers, spec.seed));
-  if (spec.topology.wan) {
-    DYNA_EXPECTS(spec.topology.wan->size() >= spec.servers);
-    spec.topology.wan->apply(c->network());
-  }
-  for (const auto& o : spec.topology.overrides) {
-    c->network().set_link_schedule(o.from, o.to, o.schedule);
-  }
+  apply_topology(*c, spec);
   return c;
 }
 
@@ -281,32 +293,157 @@ std::uint64_t ScenarioRunner::sweep_seed(const SweepSpec& sweep, std::size_t see
   return derive_seed(master, seed_index);
 }
 
-std::vector<ScenarioResult> ScenarioRunner::run_sweep(const SweepSpec& sweep) {
-  const std::vector<Variant> variants =
-      sweep.variants.empty() ? std::vector<Variant>{sweep.base.variant} : sweep.variants;
+namespace {
+
+/// One (variant-or-policy, size) cell of a sweep's cross product.
+struct SweepCell {
+  Variant variant = Variant::Raft;
+  std::string policy;  ///< non-empty => PolicyRegistry cell
+  std::size_t servers = 0;
+};
+
+/// The sweep's enumeration, flattened: trial i belongs to cell i / seeds at
+/// seed index i % seeds. No per-trial ScenarioSpec copies — the old path
+/// materialized the whole cross product as a spec vector up front, which at
+/// 10k trials was 10k allocation-heavy copies of the base spec.
+struct SweepPlan {
+  std::vector<SweepCell> cells;  ///< variant-major, then size
+  std::size_t seeds = 1;
+  std::uint64_t master = 0;
+  unsigned threads = 1;
+
+  [[nodiscard]] std::size_t total() const noexcept { return cells.size() * seeds; }
+};
+
+SweepPlan plan_sweep(const SweepSpec& sweep) {
+  SweepPlan plan;
   const std::vector<std::size_t> sizes =
       sweep.sizes.empty() ? std::vector<std::size_t>{sweep.base.servers} : sweep.sizes;
-  const std::size_t trials = std::max<std::size_t>(1, sweep.seeds);
 
-  std::vector<ScenarioSpec> specs;
-  specs.reserve(variants.size() * sizes.size() * trials);
-  for (const Variant v : variants) {
+  std::vector<SweepCell> axis;
+  for (const Variant v : sweep.variants) axis.push_back({v, {}, 0});
+  for (const std::string& p : sweep.policies) axis.push_back({sweep.base.variant, p, 0});
+  if (axis.empty()) axis.push_back({sweep.base.variant, sweep.base.policy, 0});
+
+  plan.cells.reserve(axis.size() * sizes.size());
+  for (const SweepCell& sel : axis) {
     for (const std::size_t n : sizes) {
-      for (std::size_t t = 0; t < trials; ++t) {
-        ScenarioSpec s = sweep.base;
-        s.variant = v;
-        s.servers = n;
-        s.seed = sweep_seed(sweep, t);
-        specs.push_back(std::move(s));
-      }
+      plan.cells.push_back({sel.variant, sel.policy, n});
     }
   }
+  plan.seeds = std::max<std::size_t>(1, sweep.seeds);
+  plan.master = sweep.master_seed != 0 ? sweep.master_seed : sweep.base.seed;
+  plan.threads = sweep.threads != 0 ? sweep.threads : std::thread::hardware_concurrency();
+  if (plan.threads == 0) plan.threads = 1;
+  return plan;
+}
 
-  const unsigned threads =
-      sweep.threads != 0 ? sweep.threads : std::thread::hardware_concurrency();
+/// Worker-local trial execution: every worker owns one spec value and one
+/// simulation substrate, rebuilt only at cell boundaries and reset-in-place
+/// between same-cell trials. The reset contract makes this invisible in the
+/// results (tests/test_trial_reuse.cpp); reuse_substrate=false falls back to
+/// one fresh Cluster per trial for exactly that comparison.
+class SweepExecutor {
+ public:
+  SweepExecutor(const SweepSpec& sweep, const SweepPlan& plan)
+      : sweep_(&sweep), plan_(&plan), slots_(plan.threads) {}
+
+  [[nodiscard]] ScenarioResult run_trial(std::size_t index) {
+    const int wid = par::ThreadPool::current_worker();
+    DYNA_ASSERT(wid >= 0 && static_cast<std::size_t>(wid) < slots_.size());
+    Slot& slot = slots_[static_cast<std::size_t>(wid)];
+
+    const std::size_t cell_index = index / plan_->seeds;
+    const SweepCell& cell = plan_->cells[cell_index];
+    const std::uint64_t seed = derive_seed(plan_->master, index % plan_->seeds);
+
+    const bool new_cell = slot.cell != cell_index;
+    if (new_cell) {
+      slot.spec = sweep_->base;
+      slot.spec.variant = cell.variant;
+      slot.spec.policy = cell.policy;
+      slot.spec.servers = cell.servers;
+      slot.cell = cell_index;
+    }
+    slot.spec.seed = seed;
+
+    if (!sweep_->reuse_substrate) {
+      slot.cluster.reset();
+      return ScenarioRunner::run(slot.spec);
+    }
+    if (slot.cluster == nullptr) {
+      slot.cluster = ScenarioRunner::materialize(slot.spec);
+    } else {
+      // The seed-only fast path may skip recompiling the config ONLY when
+      // the config is a pure function of (variant, size): a config_factory
+      // or registry policy receives the trial seed and may legitimately
+      // vary with it, so those recompile (and rebuild nodes) every trial.
+      const bool seed_dependent_config =
+          slot.spec.config_factory != nullptr || !slot.spec.policy.empty();
+      if (new_cell || seed_dependent_config) {
+        slot.cluster->reset(build_config(slot.spec, slot.spec.servers, seed));
+      } else {
+        slot.cluster->reset(seed);
+      }
+      apply_topology(*slot.cluster, slot.spec);
+    }
+    return ScenarioRunner::run_on(*slot.cluster, slot.spec);
+  }
+
+ private:
+  struct Slot {
+    std::size_t cell = static_cast<std::size_t>(-1);
+    ScenarioSpec spec;
+    std::unique_ptr<cluster::Cluster> cluster;
+  };
+
+  const SweepSpec* sweep_;
+  const SweepPlan* plan_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace
+
+std::vector<ScenarioResult> ScenarioRunner::run_sweep(const SweepSpec& sweep) {
+  const SweepPlan plan = plan_sweep(sweep);
+  SweepExecutor exec(sweep, plan);
   return par::run_trials<ScenarioResult>(
-      specs.size(), sweep.master_seed != 0 ? sweep.master_seed : sweep.base.seed,
-      [&specs](std::size_t i, std::uint64_t /*derived*/) { return run(specs[i]); }, threads);
+      plan.total(), plan.master,
+      [&exec](std::size_t i, std::uint64_t /*derived*/) { return exec.run_trial(i); },
+      plan.threads);
+}
+
+void ScenarioRunner::run_sweep(const SweepSpec& sweep, ResultSink& sink) {
+  const SweepPlan plan = plan_sweep(sweep);
+  SweepExecutor exec(sweep, plan);
+
+  // In-order streaming: whichever worker completes the next-in-order trial
+  // drains it (plus any buffered successors) into the sink. Workers ascend
+  // their contiguous block runs, so the reorder window stays a few blocks
+  // deep regardless of sweep size.
+  std::mutex mu;
+  std::map<std::size_t, ScenarioResult> window;
+  std::size_t next = 0;
+
+  par::for_trials(
+      plan.total(), plan.master,
+      [&](std::size_t i, std::uint64_t /*derived*/) {
+        ScenarioResult r = exec.run_trial(i);
+        std::lock_guard lock(mu);
+        if (i != next) {
+          window.emplace(i, std::move(r));
+          return;
+        }
+        sink.consume(r);
+        ++next;
+        while (!window.empty() && window.begin()->first == next) {
+          sink.consume(window.begin()->second);
+          window.erase(window.begin());
+          ++next;
+        }
+      },
+      plan.threads);
+  DYNA_ASSERT(window.empty());
 }
 
 }  // namespace dyna::scenario

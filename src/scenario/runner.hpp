@@ -21,6 +21,8 @@
 
 namespace dyna::scenario {
 
+class ResultSink;
+
 class ScenarioRunner {
  public:
   /// Compile the spec into a running cluster: variant config, topology
@@ -42,10 +44,20 @@ class ScenarioRunner {
   [[nodiscard]] static ScenarioResult run_on(cluster::Cluster& cluster,
                                              const ScenarioSpec& spec);
 
-  /// Execute the sweep's cross product (variant-major, then size, then seed
-  /// index) in parallel. Results are in enumeration order and independent of
-  /// `sweep.threads`.
+  /// Execute the sweep's cross product (variant-major — built-in variants
+  /// then registered policies — then size, then seed index) in parallel.
+  /// Results are in enumeration order and independent of `sweep.threads` and
+  /// `sweep.reuse_substrate`. Each worker runs its trials on one reused
+  /// simulation substrate (see Cluster::reset) unless the spec opts out.
   [[nodiscard]] static std::vector<ScenarioResult> run_sweep(const SweepSpec& sweep);
+
+  /// Same sweep, but stream every ScenarioResult into `sink` (in enumeration
+  /// order, exactly once) instead of accumulating a result vector — a
+  /// 10k-trial sweep writes its CSV in bounded memory. Out-of-order
+  /// completions wait in a reorder window whose size is governed by the
+  /// in-flight trial blocks (workers ascend their block runs in order), not
+  /// by the sweep size.
+  static void run_sweep(const SweepSpec& sweep, ResultSink& sink);
 
   /// The seed trial `seed_index` of a sweep runs under (same for every
   /// (variant, size) cell, so cross-variant comparisons are seed-paired).

@@ -153,6 +153,10 @@ struct ScenarioSpec {
   /// (custom policies, ablation knobs). Receives (servers, seed); the runner
   /// still applies topology/transport/perf/workload from the spec on top.
   std::function<cluster::ClusterConfig(std::size_t, std::uint64_t)> config_factory;
+  /// Name of a PolicyRegistry-registered policy, overriding `variant` (but
+  /// not `config_factory`). Registered policies carry their name into sink
+  /// schemas and are sweepable via SweepSpec::policies.
+  std::string policy;
 
   std::size_t servers = 5;
   std::uint64_t seed = 1;
@@ -189,8 +193,12 @@ struct ScenarioSpec {
 /// tests/test_scenario_sweep.cpp verifies.
 struct SweepSpec {
   ScenarioSpec base{};
-  /// Empty => {base.variant}.
+  /// Empty => {base.variant} (unless `policies` is non-empty).
   std::vector<Variant> variants{};
+  /// PolicyRegistry names appended to the variant axis, after `variants`.
+  /// When both lists are empty the single cell is the base spec's own
+  /// policy/variant selection.
+  std::vector<std::string> policies{};
   /// Empty => {base.servers}.
   std::vector<std::size_t> sizes{};
   /// Number of seed trials per (variant, size) cell.
@@ -200,6 +208,12 @@ struct SweepSpec {
   std::uint64_t master_seed = 0;
   /// Worker threads for par::run_trials; 0 => hardware concurrency.
   unsigned threads = 0;
+  /// Run each worker's trials on one reused simulation substrate (warm
+  /// allocations, Cluster::reset between trials) instead of constructing a
+  /// fresh Cluster per trial. Results are bit-identical either way — that is
+  /// the reset contract (tests/test_trial_reuse.cpp); this knob exists for
+  /// that very comparison and for bisecting suspected reset leaks.
+  bool reuse_substrate = true;
 };
 
 /// The paper's single-machine testbed stall process: five 4-core containers

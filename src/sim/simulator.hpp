@@ -131,6 +131,22 @@ class Simulator {
   [[nodiscard]] std::size_t executed() const noexcept { return executed_; }
   [[nodiscard]] std::size_t pending() const noexcept { return live_; }
 
+  /// Return to the freshly-constructed state while keeping every container's
+  /// capacity (heap storage, slot table, free list). A reset simulator is
+  /// observationally identical to a new one — clock at the epoch, no pending
+  /// events, sequence and generation counters rewound — so trial k+1 of a
+  /// sweep can reuse trial k's warmed allocations. The reset-exactness suite
+  /// in tests/test_trial_reuse.cpp holds this to "bit-identical traces".
+  void reset() noexcept {
+    heap_.clear();
+    slots_.clear();  // destroys the InlineFn callables, keeps the capacity
+    free_slots_.clear();
+    now_ = kSimEpoch;
+    seq_ = 0;
+    live_ = 0;
+    executed_ = 0;
+  }
+
  private:
   /// 24-byte POD heap entry. `seq` is the global insertion counter and breaks
   /// same-time ties FIFO; (slot, gen) locates and validates the callable.
@@ -255,6 +271,15 @@ class Timer {
       id_ = kInvalidEvent;
       deadline_ = kNever;
     }
+  }
+
+  /// Drop the handle without touching the simulator. For trial reuse only:
+  /// after Simulator::reset() the stored id no longer refers to this timer's
+  /// event, and cancelling it could hit an unrelated fresh event whose
+  /// (slot, generation) happens to collide.
+  void forget() noexcept {
+    id_ = kInvalidEvent;
+    deadline_ = kNever;
   }
 
   [[nodiscard]] bool armed() const noexcept { return id_ != kInvalidEvent; }

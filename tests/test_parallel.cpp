@@ -58,6 +58,52 @@ TEST(ThreadPool, TasksCanPostMoreTasks) {
   EXPECT_EQ(count.load(), 2);
 }
 
+TEST(ThreadPool, PostBatchRunsEverythingOnce) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::vector<ThreadPool::Task> tasks;
+  for (int i = 0; i < 1000; ++i) {
+    tasks.emplace_back([&count] { count.fetch_add(1); });
+  }
+  pool.post_batch(std::move(tasks));
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, CurrentWorkerIndexIsStableAndInRange) {
+  ThreadPool pool(4);
+  EXPECT_EQ(ThreadPool::current_worker(), -1);  // not a pool thread
+  std::atomic<int> bad{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.post([&bad] {
+      const int w = ThreadPool::current_worker();
+      if (w < 0 || w >= 4) bad.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ThreadPool, IdleWorkersStealFromLoadedPeers) {
+  // Two workers; worker A blocks on a gate while the batch lands in both
+  // deques. Worker B must steal A's share for the sweep to finish.
+  ThreadPool pool(2);
+  std::atomic<bool> gate{false};
+  std::atomic<int> done{0};
+  std::vector<ThreadPool::Task> tasks;
+  tasks.emplace_back([&gate] {
+    while (!gate.load()) std::this_thread::yield();
+  });
+  for (int i = 0; i < 63; ++i) {
+    tasks.emplace_back([&done, &gate] {
+      if (done.fetch_add(1) + 1 == 63) gate.store(true);  // unblock the gate
+    });
+  }
+  pool.post_batch(std::move(tasks));
+  pool.wait_idle();  // without stealing the gate never opens: deadlock
+  EXPECT_EQ(done.load(), 63);
+}
+
 TEST(TrialRunner, ResultsInTrialOrder) {
   const auto results = run_trials<std::size_t>(
       50, 1, [](std::size_t trial, std::uint64_t) { return trial * 2; }, 4);
@@ -95,6 +141,38 @@ TEST(TrialRunner, IdenticalAcrossThreadCounts) {
   const auto eight = run_trials<double>(32, 123, trial, 8);
   EXPECT_EQ(one, two);
   EXPECT_EQ(one, eight);
+}
+
+TEST(TrialRunner, ExplicitBlockSizesDoNotChangeResults) {
+  auto trial = [](std::size_t i, std::uint64_t seed) {
+    Rng rng(seed);
+    return static_cast<double>(i) + rng.uniform();
+  };
+  const auto reference = run_trials<double>(100, 5, trial, 1);
+  for (const std::size_t block : {1u, 3u, 7u, 64u, 1000u}) {
+    EXPECT_EQ(run_trials<double>(100, 5, trial, 4, block), reference) << "block " << block;
+  }
+}
+
+TEST(TrialRunner, ForTrialsVisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> visits(257);
+  for_trials(257, 9, [&visits](std::size_t i, std::uint64_t seed) {
+    EXPECT_EQ(seed, derive_seed(9, i));
+    visits[i].fetch_add(1);
+  }, 8);
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "trial " << i;
+  }
+}
+
+TEST(TrialRunner, ExceptionInTrialPropagates) {
+  EXPECT_THROW(run_trials<int>(16, 1,
+                               [](std::size_t i, std::uint64_t) {
+                                 if (i == 7) throw std::runtime_error("trial 7");
+                                 return 0;
+                               },
+                               2),
+               std::runtime_error);
 }
 
 TEST(TrialRunner, ZeroTrialsIsEmpty) {

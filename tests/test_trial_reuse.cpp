@@ -1,0 +1,377 @@
+// The trial-reuse reset contract: a reused substrate must be observationally
+// indistinguishable from fresh construction.
+//
+// Three levels, matching the reset surface:
+//   * Simulator — reset-then-reuse replays a randomized schedule/cancel/run
+//     script identically to a fresh engine (times, order, counters);
+//   * Network — a network that carried traffic, link overrides, partitions,
+//     pauses with parked messages and in-flight deliveries replays a
+//     deterministic script identically to a fresh network after
+//     reset_for_trial (delivery trace, traffic counters, FIFO watermarks);
+//   * Cluster / sweep — the same sweep produces byte-identical
+//     ScenarioResult vectors via (a) fresh construction per trial and
+//     (b) reused substrates, across thread counts 1/2/8, with policies both
+//     resettable (Static/Dynatune) and not (custom factory fallback).
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/sink.hpp"
+#include "test_support.hpp"
+
+namespace dyna {
+namespace {
+
+using namespace std::chrono_literals;
+using testutil::constant_link;
+
+// ---- Simulator ---------------------------------------------------------------------
+
+/// Trace of one engine run: (fire time, tag) in execution order.
+using SimTrace = std::vector<std::pair<TimePoint, int>>;
+
+/// Drive `sim` through a seeded random script of schedules, cancels and
+/// steps; returns the execution trace.
+SimTrace run_sim_script(sim::Simulator& sim, std::uint64_t seed) {
+  SimTrace trace;
+  Rng rng(seed);
+  std::vector<sim::EventId> live;
+  for (int round = 0; round < 200; ++round) {
+    const int tag = round;
+    const auto delay = from_ms(rng.uniform(0.0, 50.0));
+    live.push_back(sim.schedule_after(delay, [&trace, &sim, tag] {
+      trace.emplace_back(sim.now(), tag);
+    }));
+    if (!live.empty() && rng.bernoulli(0.3)) {
+      const auto victim = static_cast<std::size_t>(rng.uniform_index(live.size()));
+      sim.cancel(live[victim]);  // may be stale: cancel() must cope either way
+    }
+    if (rng.bernoulli(0.5)) sim.step();
+  }
+  sim.run_all();
+  return trace;
+}
+
+TEST(SimulatorReset, ResetThenReuseReplaysIdentically) {
+  sim::Simulator reused;
+  // Dirty the engine: a full script, plus pending events left behind.
+  run_sim_script(reused, 7);
+  reused.schedule_after(10ms, [] {});
+  reused.schedule_after(20ms, [] {});
+  reused.reset();
+
+  EXPECT_EQ(reused.pending(), 0u);
+  EXPECT_EQ(reused.executed(), 0u);
+  EXPECT_EQ(reused.now(), kSimEpoch);
+
+  sim::Simulator fresh;
+  const SimTrace a = run_sim_script(fresh, 99);
+  const SimTrace b = run_sim_script(reused, 99);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(fresh.executed(), reused.executed());
+  EXPECT_EQ(fresh.pending(), reused.pending());
+  EXPECT_EQ(fresh.now(), reused.now());
+}
+
+TEST(SimulatorReset, StepAfterResetIsEmpty) {
+  sim::Simulator s;
+  s.schedule_after(5ms, [] { FAIL() << "event survived reset"; });
+  s.reset();
+  EXPECT_FALSE(s.step());
+}
+
+TEST(SimulatorReset, ForgottenTimerNeverCancelsFreshEvents) {
+  sim::Simulator s;
+  int fired = 0;
+  sim::Timer timer(s, [&fired] { ++fired; });
+  timer.arm(5ms);  // occupies slot 0, generation 1
+  s.reset();
+  timer.forget();
+  EXPECT_FALSE(timer.armed());
+
+  // The fresh engine hands out slot 0 / generation 1 again. A destructor
+  // that cancelled instead of forgetting would kill this stranger's event.
+  int stranger = 0;
+  s.schedule_after(1ms, [&stranger] { ++stranger; });
+  s.run_all();
+  EXPECT_EQ(stranger, 1);
+  EXPECT_EQ(fired, 0);
+}
+
+// ---- Network -----------------------------------------------------------------------
+
+/// Full delivery trace: (receiver, payload, delivery time).
+using NetTrace = std::vector<std::tuple<NodeId, int, TimePoint>>;
+
+struct TracedNet {
+  sim::Simulator sim;
+  net::Network net;
+  NetTrace trace;
+
+  explicit TracedNet(std::uint64_t seed) : net(sim, Rng(seed)) { add_nodes(); }
+
+  void add_nodes() {
+    for (int i = 0; i < 3; ++i) {
+      const NodeId id = net.add_node(nullptr);
+      hook(id);
+    }
+  }
+
+  void hook(NodeId id) {
+    net.set_handler(id, [this, id](NodeId /*from*/, const net::Message& p) {
+      ASSERT_NE(p.test(), nullptr);
+      trace.emplace_back(id, static_cast<int>(p.test()->value), sim.now());
+    });
+  }
+
+  /// A deterministic workout: mixed transports, jitter/loss, an override
+  /// link, a partition, a pause with parked reliable traffic.
+  void run_script() {
+    net.set_default_schedule(constant_link(40ms, 3ms, 0.05));
+    net.set_link_schedule(0, 1, constant_link(10ms));
+    net.set_blocked(2, 0, true);
+    int payload = 0;
+    for (int round = 0; round < 40; ++round) {
+      if (round == 10) net.set_paused(1, true);
+      if (round == 20) net.set_paused(1, false);
+      net.send(0, 1, payload++, net::Transport::Datagram);
+      net.send(1, 2, payload++, net::Transport::Reliable);
+      net.send(2, 0, payload++, net::Transport::Datagram);  // blocked
+      net.send(2, 1, payload++, net::Transport::Reliable);
+      sim.run_for(15ms);
+    }
+    sim.run_all();
+  }
+};
+
+TEST(NetworkReset, ResetThenReuseReplaysIdentically) {
+  TracedNet reused(5);
+  reused.run_script();  // dirty everything: counters, watermarks, overrides
+  // Leave state mid-flight on purpose: in-flight messages, a pause with
+  // parked traffic, a partition, then reset both layers.
+  reused.net.set_paused(1, true);
+  reused.net.send(0, 1, 999, net::Transport::Reliable);
+  reused.net.send(2, 1, 998, net::Transport::Reliable);
+  reused.sim.run_for(100ms);
+  reused.sim.reset();
+  reused.net.reset_for_trial(Rng(77), 3);
+  reused.trace.clear();
+
+  for (NodeId id = 0; id < 3; ++id) {
+    EXPECT_FALSE(reused.net.paused(id));
+    EXPECT_EQ(reused.net.traffic(id).sent, 0u);
+    EXPECT_EQ(reused.net.traffic(id).received, 0u);
+    EXPECT_EQ(reused.net.traffic(id).lost, 0u);
+    EXPECT_EQ(reused.net.traffic(id).dropped_paused, 0u);
+  }
+
+  TracedNet fresh(77);
+  fresh.run_script();
+  reused.run_script();
+
+  EXPECT_EQ(fresh.trace, reused.trace);
+  for (NodeId id = 0; id < 3; ++id) {
+    EXPECT_EQ(fresh.net.traffic(id).sent, reused.net.traffic(id).sent) << "node " << id;
+    EXPECT_EQ(fresh.net.traffic(id).received, reused.net.traffic(id).received);
+    EXPECT_EQ(fresh.net.traffic(id).sent_bytes, reused.net.traffic(id).sent_bytes);
+    EXPECT_EQ(fresh.net.traffic(id).lost, reused.net.traffic(id).lost);
+  }
+}
+
+TEST(NetworkReset, ResizesAcrossTrials) {
+  sim::Simulator sim;
+  net::Network net(sim, Rng(1));
+  for (int i = 0; i < 5; ++i) net.add_node(nullptr);
+  EXPECT_EQ(net.node_count(), 5u);
+  net.reset_for_trial(Rng(2), 3);
+  EXPECT_EQ(net.node_count(), 3u);
+  net.reset_for_trial(Rng(3), 7);
+  EXPECT_EQ(net.node_count(), 7u);
+  // New links start clean in both directions.
+  EXPECT_EQ(net.condition(6, 0).rtt, net::LinkCondition{}.rtt);
+}
+
+// ---- Cluster -----------------------------------------------------------------------
+
+scenario::ScenarioSpec reuse_spec(std::uint64_t seed) {
+  scenario::ScenarioSpec spec;
+  spec.name = "reuse";
+  spec.variant = scenario::Variant::Dynatune;
+  spec.servers = 5;
+  spec.seed = seed;
+  spec.topology = scenario::TopologySpec::constant(60ms, 2ms, 0.01);
+  spec.faults = scenario::FaultPlan::leader_kills(1, 2s);
+  spec.samples = scenario::SamplePlan::every(1s, 3s, /*kth=*/2);
+  return spec;
+}
+
+TEST(ClusterReset, SeedResetMatchesFreshConstruction) {
+  const scenario::ScenarioSpec first = reuse_spec(11);
+  scenario::ScenarioSpec second = reuse_spec(22);
+
+  // Reused: one cluster, two trials through reset(seed).
+  auto c = scenario::ScenarioRunner::materialize(first);
+  (void)scenario::ScenarioRunner::run_on(*c, first);
+  c->reset(second.seed);
+  const scenario::ScenarioResult reused = scenario::ScenarioRunner::run_on(*c, second);
+
+  const scenario::ScenarioResult fresh = scenario::ScenarioRunner::run(second);
+  EXPECT_EQ(fresh, reused);
+}
+
+TEST(ClusterReset, ReconfigureAcrossSizesAndVariantsMatchesFresh) {
+  // Trial 1: Dynatune n=5. Trial 2 reuses the same substrate as Raft n=3.
+  const scenario::ScenarioSpec first = reuse_spec(3);
+  scenario::ScenarioSpec second = reuse_spec(4);
+  second.variant = scenario::Variant::Raft;
+  second.servers = 3;
+
+  auto c = scenario::ScenarioRunner::materialize(first);
+  (void)scenario::ScenarioRunner::run_on(*c, first);
+  cluster::ClusterConfig cfg = cluster::make_raft_config(3, second.seed);
+  cfg.links = constant_link(60ms, 2ms, 0.01);  // the spec's topology layer
+  c->reset(std::move(cfg));
+  const scenario::ScenarioResult reused = scenario::ScenarioRunner::run_on(*c, second);
+
+  const scenario::ScenarioResult fresh = scenario::ScenarioRunner::run(second);
+  EXPECT_EQ(fresh, reused);
+}
+
+// ---- Sweeps ------------------------------------------------------------------------
+
+scenario::SweepSpec isolation_sweep() {
+  scenario::SweepSpec sweep;
+  sweep.base = reuse_spec(0);
+  sweep.variants = {scenario::Variant::Raft, scenario::Variant::Dynatune};
+  sweep.sizes = {3, 5};
+  sweep.seeds = 4;
+  sweep.master_seed = 1234;
+  return sweep;
+}
+
+TEST(SweepReuse, FreshAndReusedAreByteIdenticalAcrossThreadCounts) {
+  scenario::SweepSpec sweep = isolation_sweep();
+
+  sweep.reuse_substrate = false;
+  sweep.threads = 1;
+  const auto reference = scenario::ScenarioRunner::run_sweep(sweep);
+  ASSERT_EQ(reference.size(), 16u);
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    for (const bool reuse : {false, true}) {
+      sweep.threads = threads;
+      sweep.reuse_substrate = reuse;
+      const auto got = scenario::ScenarioRunner::run_sweep(sweep);
+      ASSERT_EQ(got.size(), reference.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i], reference[i])
+            << "threads=" << threads << " reuse=" << reuse << " cell " << i;
+      }
+    }
+  }
+}
+
+TEST(SweepReuse, NonResettableCustomPolicyFallsBackAndStaysExact) {
+  // A config_factory policy is opaque to the harness (not resettable), so
+  // reuse must rebuild nodes per trial — and still match fresh exactly.
+  scenario::SweepSpec sweep = isolation_sweep();
+  sweep.variants.clear();
+  sweep.sizes = {3};
+  sweep.base.config_factory = [](std::size_t servers, std::uint64_t seed) {
+    cluster::ClusterConfig cfg = cluster::make_raft_config(servers, seed);
+    cfg.raft.election_timeout = 700ms;
+    cfg.name = "custom";
+    return cfg;
+  };
+
+  sweep.reuse_substrate = false;
+  const auto fresh = scenario::ScenarioRunner::run_sweep(sweep);
+  sweep.reuse_substrate = true;
+  const auto reused = scenario::ScenarioRunner::run_sweep(sweep);
+  ASSERT_EQ(fresh.size(), reused.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(fresh[i], reused[i]) << "cell " << i;
+    EXPECT_EQ(fresh[i].variant, "custom");
+  }
+}
+
+TEST(SweepReuse, SeedDependentConfigFactoryRecompilesEveryTrial) {
+  // A config_factory may legitimately vary with the trial seed, so the
+  // reuse path must recompile the config per trial — the seed-only fast
+  // path would silently pin every trial of a cell to the first seed's
+  // config.
+  scenario::SweepSpec sweep = isolation_sweep();
+  sweep.variants.clear();
+  sweep.sizes = {3};
+  sweep.seeds = 6;
+  sweep.base.config_factory = [](std::size_t servers, std::uint64_t seed) {
+    cluster::ClusterConfig cfg = cluster::make_raft_config(servers, seed);
+    // Election timeout depends on the seed: 400..900 ms.
+    cfg.raft.election_timeout = std::chrono::milliseconds(400 + (seed % 6) * 100);
+    cfg.name = "seeded";
+    return cfg;
+  };
+
+  sweep.reuse_substrate = false;
+  const auto fresh = scenario::ScenarioRunner::run_sweep(sweep);
+  sweep.reuse_substrate = true;
+  const auto reused = scenario::ScenarioRunner::run_sweep(sweep);
+  ASSERT_EQ(fresh.size(), reused.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(fresh[i], reused[i]) << "cell " << i;
+  }
+}
+
+TEST(SweepReuse, RegistryPoliciesSweepWithFirstClassNames) {
+  scenario::PolicyRegistry::global().add(
+      "test-raft-snappy", [](std::size_t servers, std::uint64_t seed) {
+        cluster::ClusterConfig cfg = cluster::make_raft_config(servers, seed);
+        cfg.raft.election_timeout = 300ms;
+        return cfg;
+      });
+  ASSERT_TRUE(scenario::PolicyRegistry::global().contains("test-raft-snappy"));
+
+  scenario::SweepSpec sweep = isolation_sweep();
+  sweep.variants = {scenario::Variant::Raft};
+  sweep.policies = {"test-raft-snappy"};
+  sweep.sizes = {3};
+  sweep.seeds = 2;
+
+  const auto results = scenario::ScenarioRunner::run_sweep(sweep);
+  ASSERT_EQ(results.size(), 4u);  // (Raft + registered) x 1 size x 2 seeds
+  EXPECT_EQ(results[0].variant, "Raft");
+  EXPECT_EQ(results[1].variant, "Raft");
+  EXPECT_EQ(results[2].variant, "test-raft-snappy");
+  EXPECT_EQ(results[3].variant, "test-raft-snappy");
+
+  // Registered cells are exact too: fresh vs reused.
+  sweep.reuse_substrate = false;
+  const auto fresh = scenario::ScenarioRunner::run_sweep(sweep);
+  EXPECT_EQ(fresh, results);
+}
+
+/// Sink that records results (order included) for the streaming contract.
+class CollectingSink final : public scenario::ResultSink {
+ public:
+  void consume(const scenario::ScenarioResult& r) override { results.push_back(r); }
+  std::vector<scenario::ScenarioResult> results;
+};
+
+TEST(SweepReuse, StreamingSinkMatchesVectorSweepInOrder) {
+  scenario::SweepSpec sweep = isolation_sweep();
+  sweep.threads = 8;  // stress the reorder window
+
+  const auto expected = scenario::ScenarioRunner::run_sweep(sweep);
+  CollectingSink sink;
+  scenario::ScenarioRunner::run_sweep(sweep, sink);
+  ASSERT_EQ(sink.results.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(sink.results[i], expected[i]) << "stream position " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dyna

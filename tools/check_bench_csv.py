@@ -20,6 +20,9 @@ gate can never flap on hardware differences:
   * fig_scale.csv: most columns are deterministic (simulated-time metrics,
     the n*n link-table size) and use the strict band; the wall-clock
     throughput and RSS columns are timing cells.
+  * fig_sweep.csv: per-cell election aggregates are deterministic; the
+    trials-per-second columns (fresh / reused substrate), their ratio and
+    the RSS column are timing cells.
 
 Exit code 0 = no drift; 1 = drift (all mismatches are listed first).
 Stdlib only — no third-party dependencies.
@@ -39,13 +42,14 @@ TIMING_COLUMNS = {"real_time", "cpu_time"}
 
 # Machine-dependent columns of otherwise-deterministic files: skipped unless
 # the runner class matches, then compared within --timing-rtol.
-MACHINE_COLUMNS = {"sim_sec_per_wall_sec", "peak_rss_mib"}
+MACHINE_COLUMNS = {"sim_sec_per_wall_sec", "peak_rss_mib",
+                   "trials_per_sec_fresh", "trials_per_sec_reused", "speedup"}
 
 # Columns that are identities or exact integer counters, never measurements:
 # compared as strings, no tolerance. (A 19-digit seed does not even round-trip
 # through float64, and a drifted `completed` count is a real behaviour change.)
 EXACT_COLUMNS = {"scenario", "variant", "servers", "seed", "kill", "ok", "available",
-                 "completed", "failed"}
+                 "completed", "failed", "seeds", "elected", "elections", "expiries"}
 
 
 def read_csv(path):
