@@ -1,6 +1,7 @@
 #include "cluster/cluster.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "dynatune/policy.hpp"
 #include "raft/storage.hpp"
@@ -153,7 +154,8 @@ void Cluster::build_node(NodeId id) {
     if (static_cast<NodeId>(p) != id) peers.push_back(static_cast<NodeId>(p));
   }
 
-  // Fresh state machine: recovery replays the durable log from scratch.
+  // Fresh state machine: on restart the node's start() restores it from the
+  // persisted snapshot (if any) and replays only the log suffix behind it.
   state_machines_[idx] = std::make_unique<kv::KvStateMachine>();
 
   Rng node_rng(derive_seed(cfg_.seed, 0x1000 + static_cast<std::uint64_t>(id)));
@@ -163,6 +165,9 @@ void Cluster::build_node(NodeId id) {
   node->set_apply([this, idx](const raft::LogEntry& entry) {
     return state_machines_[idx]->apply(entry.command.payload);
   });
+  node->set_snapshot_hooks(
+      [this, idx] { return state_machines_[idx]->snapshot(); },
+      [this, idx](const raft::Snapshot& snap) { state_machines_[idx]->restore(snap.data); });
   node->add_observer(&probe_);
   if (perf_) node->add_observer(perf_.get());
   for (raft::Observer* o : cfg_.observers) node->add_observer(o);
@@ -285,6 +290,14 @@ void Cluster::restart(NodeId id) {
   const auto idx = static_cast<std::size_t>(id);
   DYNA_EXPECTS(idx < nodes_.size());
   DYNA_EXPECTS(nodes_[idx] == nullptr);
+  if (!storages_[idx]->durable_log()) {
+    // Reviving a node over log-discarding storage would bring it back with an
+    // empty log — committed entries silently missing, a safety violation that
+    // used to surface only as divergence much later.
+    throw std::runtime_error("Cluster::restart(" + std::to_string(id) +
+                             "): storage discards the log (durable_log=false); set "
+                             "ClusterConfig::durable_log=true for crash/restart scenarios");
+  }
   build_node(id);
 }
 

@@ -114,7 +114,10 @@ class Cluster {
   void pause(NodeId id);    ///< freeze node + its network endpoint
   void resume(NodeId id);
   void crash(NodeId id);    ///< lose volatile state; storage survives
-  void restart(NodeId id);  ///< rebuild node + state machine from storage
+  /// Rebuild node + state machine from storage (snapshot + log suffix).
+  /// Throws std::runtime_error if the node's storage discards the log
+  /// (durable_log=false) — restarting it would lose committed entries.
+  void restart(NodeId id);
 
   /// Fork an independent RNG stream for drivers built on this cluster.
   [[nodiscard]] Rng fork_rng(std::uint64_t stream) {

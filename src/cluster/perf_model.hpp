@@ -116,6 +116,10 @@ class PerfModel final : public raft::Observer {
       case raft::MsgKind::Vote: return cost_.vote_send + byte_cost;
       case raft::MsgKind::PreVoteResponse:
       case raft::MsgKind::VoteResponse: return cost_.vote_send + byte_cost;
+      // Snapshot transfer cost is dominated by the blob, i.e. the per-byte
+      // term; the fixed part is billed like a (bulk) append.
+      case raft::MsgKind::InstallSnapshot: return cost_.append_send + byte_cost;
+      case raft::MsgKind::InstallSnapshotResponse: return cost_.append_resp_send + byte_cost;
       case raft::MsgKind::Client: return cost_.client_recv + byte_cost;
       case raft::MsgKind::ClientResponse: return cost_.client_resp_send + byte_cost;
     }
@@ -137,6 +141,8 @@ class PerfModel final : public raft::Observer {
       case raft::MsgKind::Vote: return cost_.vote_recv + byte_cost;
       case raft::MsgKind::PreVoteResponse:
       case raft::MsgKind::VoteResponse: return cost_.vote_recv + byte_cost;
+      case raft::MsgKind::InstallSnapshot: return cost_.append_recv + byte_cost;
+      case raft::MsgKind::InstallSnapshotResponse: return cost_.append_resp_recv + byte_cost;
       case raft::MsgKind::Client: return cost_.client_recv + byte_cost;
       case raft::MsgKind::ClientResponse: return cost_.client_resp_send + byte_cost;
     }

@@ -19,6 +19,16 @@ KvClient::KvClient(sim::Simulator& simulator, net::Network& network, std::vector
   target_ = servers_[rng_.uniform_index(servers_.size())];
 }
 
+KvClient::~KvClient() {
+  // In-flight state must not reach back into a destroyed client: the retry /
+  // backoff timers and the endpoint handler all capture `this`. Late server
+  // responses then land on a null handler and are dropped.
+  for (auto& [seq, p] : pending_) {
+    if (p.timeout_event != sim::kInvalidEvent) sim_->cancel(p.timeout_event);
+  }
+  net_->set_handler(endpoint_, nullptr);
+}
+
 void KvClient::put(std::string key, std::string value, DoneFn done) {
   KvCommand cmd{Op::Put, std::move(key), std::move(value), {}};
   submit(encode(cmd), std::move(done));
@@ -110,8 +120,11 @@ void KvClient::on_message(NodeId /*from*/, const net::Message& payload) {
   } else {
     rotate_target();
   }
+  // Track the backoff event in the same slot as the retry timer so teardown
+  // can cancel it; send_attempt overwrites the slot when it fires.
   const std::uint64_t seq = resp->client_seq;
-  sim_->schedule_after(config_.redirect_backoff, [this, seq] { send_attempt(seq); });
+  p.timeout_event =
+      sim_->schedule_after(config_.redirect_backoff, [this, seq] { send_attempt(seq); });
 }
 
 void KvClient::complete(std::uint64_t seq, bool ok, std::string value) {

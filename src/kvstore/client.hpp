@@ -51,6 +51,11 @@ class KvClient {
   KvClient(const KvClient&) = delete;
   KvClient& operator=(const KvClient&) = delete;
 
+  /// Unhooks the endpoint handler and cancels every pending timer: both
+  /// capture `this`, and a scenario keeps simulating long after the workload
+  /// phase (and this client) are gone.
+  ~KvClient();
+
   /// This client's network endpoint id.
   [[nodiscard]] NodeId endpoint() const noexcept { return endpoint_; }
 

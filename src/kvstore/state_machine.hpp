@@ -5,12 +5,14 @@
 // checks replicas byte-for-byte against each other.
 #pragma once
 
+#include <algorithm>
 #include <charconv>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "kvstore/command.hpp"
 
@@ -24,6 +26,15 @@ class StateMachine {
   /// The payload is borrowed for the duration of the call (the log entry
   /// owns it), so implementations can decode it zero-copy.
   virtual std::string apply(std::string_view payload) = 0;
+
+  /// Serialize the full machine state. Must be deterministic: two replicas
+  /// in the same logical state must produce byte-identical blobs, whatever
+  /// history brought them there (snapshots are compared and shipped across
+  /// replicas).
+  [[nodiscard]] virtual std::string snapshot() const = 0;
+
+  /// Replace the machine state with a blob produced by snapshot().
+  virtual void restore(std::string_view blob) = 0;
 };
 
 /// In-memory KV store with a global revision counter (mirrors etcd's
@@ -72,6 +83,46 @@ class KvStateMachine final : public StateMachine {
       }
     }
     return "ERR unknown-op";
+  }
+
+  /// Deterministic serialization: the revision, then every (key, value) pair
+  /// in sorted key order, all fields length-prefixed (the same <len>:<bytes>
+  /// framing the command encoding uses). Sorting matters: the hash map's
+  /// iteration order depends on insertion history, which differs between a
+  /// replica that applied every command and one restored from an earlier
+  /// snapshot — equal states must serialize identically.
+  [[nodiscard]] std::string snapshot() const override {
+    std::vector<std::string_view> keys;
+    keys.reserve(data_.size());
+    for (const auto& [key, value] : data_) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    std::string out;
+    char rev[24];
+    const auto [end, ec] = std::to_chars(rev, rev + sizeof rev, revision_);
+    (void)ec;  // 64-bit decimal always fits
+    detail::encode_field(out, std::string_view(rev, end));
+    for (const std::string_view key : keys) {
+      detail::encode_field(out, key);
+      detail::encode_field(out, data_.find(key)->second);
+    }
+    return out;
+  }
+
+  void restore(std::string_view blob) override {
+    data_.clear();
+    std::size_t pos = 0;
+    const auto rev = detail::decode_field(blob, pos);
+    DYNA_EXPECTS(rev.has_value());
+    revision_ = 0;
+    const auto [ptr, ec] =
+        std::from_chars(rev->data(), rev->data() + rev->size(), revision_);
+    DYNA_EXPECTS(ec == std::errc{} && ptr == rev->data() + rev->size());
+    while (pos < blob.size()) {
+      const auto key = detail::decode_field(blob, pos);
+      const auto value = detail::decode_field(blob, pos);
+      DYNA_EXPECTS(key.has_value() && value.has_value());
+      data_.emplace(*key, *value);
+    }
   }
 
   /// Transparent hash so find(string_view) never materializes a key.

@@ -63,6 +63,17 @@ struct RaftConfig {
   /// Cap on entries per AppendEntries message.
   std::size_t max_entries_per_append = 4096;
 
+  /// Snapshot/compaction policy: take a state-machine snapshot once more
+  /// than this many applied entries sit behind the last compaction point.
+  /// 0 disables snapshots entirely (the default — reference runs replay
+  /// from index 1 and stay byte-identical to the pre-snapshot behaviour).
+  std::size_t snapshot_threshold = 0;
+
+  /// How many applied entries to keep in the log behind the snapshot so
+  /// slightly-lagging followers catch up via AppendEntries instead of a
+  /// full InstallSnapshot (cf. etcd's snapshot-catchup-entries).
+  std::size_t snapshot_trailing = 64;
+
   /// Factory presets matching the paper's variants (election policy is
   /// supplied separately — see raft/election_policy.hpp).
   [[nodiscard]] static RaftConfig etcd_default() { return RaftConfig{}; }

@@ -27,6 +27,12 @@
 // into the open tail while outstanding views keep the old immutable segment
 // alive. A view is therefore always valid for the lifetime of its handle,
 // no matter what the log does afterwards.
+//
+// Compaction (snapshots) is the mirror image at the front: runs fully
+// behind the snapshot line are unlinked (segments die when the last view
+// drops them); a run straddling the line keeps its segment whole and only
+// advances its slice bookkeeping. Segments are never split or rewritten, so
+// the view-validity guarantee above holds across compaction too.
 #pragma once
 
 #include <algorithm>
@@ -122,39 +128,51 @@ class EntryView {
   std::uint32_t count_ = 0;
 };
 
-/// The Raft log proper: sealed immutable runs + open tail, 1-based and
-/// contiguous from index 1 (no compaction — the experiments replay from the
-/// start). Random access is O(1) in the tail, O(1) through the run hint for
-/// the sequential access patterns Raft has (apply, prev-term checks), and
-/// O(log #runs) otherwise; view() and append_view() are allocation-free on
-/// the broadcast path.
+/// The Raft log proper: sealed immutable runs + open tail. Indices are
+/// 1-based and contiguous from first_index() to last_index(); a snapshot
+/// compacts the prefix up to compacted_to() away (whole-segment drops — see
+/// compact_to). Random access is O(1) in the tail, O(1) through the run hint
+/// for the sequential access patterns Raft has (apply, prev-term checks),
+/// and O(log #runs) otherwise; view() and append_view() are allocation-free
+/// on the broadcast path.
 class RaftLog {
  public:
   [[nodiscard]] LogIndex last_index() const noexcept {
     return tail_first_ - 1 + tail_.size();
   }
+  /// Index of the first live (uncompacted) entry: compacted_to() + 1.
+  [[nodiscard]] LogIndex first_index() const noexcept { return compacted_to_ + 1; }
+  /// Number of live entries (equals last_index() while uncompacted).
   [[nodiscard]] std::size_t size() const noexcept {
-    return static_cast<std::size_t>(last_index());
+    return static_cast<std::size_t>(last_index() - compacted_to_);
   }
-  [[nodiscard]] bool empty() const noexcept { return last_index() == 0; }
+  [[nodiscard]] bool empty() const noexcept { return last_index() == compacted_to_; }
 
-  /// 1-based access (Raft indices).
+  /// Highest index folded into a snapshot (0 = nothing compacted), and its
+  /// term. Entries at or below this index are no longer addressable.
+  [[nodiscard]] LogIndex compacted_to() const noexcept { return compacted_to_; }
+  [[nodiscard]] Term compacted_term() const noexcept { return compacted_term_; }
+
+  /// 1-based access (Raft indices); index must be live.
   [[nodiscard]] const LogEntry& entry(LogIndex index) const {
-    DYNA_EXPECTS(index >= 1 && index <= last_index());
+    DYNA_EXPECTS(index >= first_index() && index <= last_index());
     if (index >= tail_first_) return tail_[static_cast<std::size_t>(index - tail_first_)];
     const Run& run = run_containing(index);
     return run.seg->data()[run.offset + (index - run.first)];
   }
 
-  /// 0-based access (container idiom; entry i has Raft index i+1).
+  /// 0-based access (container idiom; entry i has Raft index i+1; only
+  /// meaningful while uncompacted).
   [[nodiscard]] const LogEntry& operator[](std::size_t i) const { return entry(i + 1); }
 
-  [[nodiscard]] const LogEntry& front() const { return entry(1); }
+  [[nodiscard]] const LogEntry& front() const { return entry(first_index()); }
   [[nodiscard]] const LogEntry& back() const { return entry(last_index()); }
 
-  /// Term of the entry at `index`; 0 for the empty prefix (index 0).
+  /// Term of the entry at `index`; 0 for the empty prefix (index 0). The
+  /// compaction point itself stays addressable (its term is remembered for
+  /// AppendEntries prev-term checks); anything below it is gone.
   [[nodiscard]] Term term_at(LogIndex index) const {
-    if (index == 0) return 0;
+    if (index == compacted_to_) return compacted_term_;
     return entry(index).term;
   }
 
@@ -182,9 +200,10 @@ class RaftLog {
   }
 
   /// Remove all entries with index >= first_removed. Copy-on-write: views
-  /// handed out earlier keep their (now superseded) segments alive.
+  /// handed out earlier keep their (now superseded) segments alive. The
+  /// compacted prefix is committed state and can never be cut.
   void truncate_from(LogIndex first_removed) {
-    DYNA_EXPECTS(first_removed >= 1);
+    DYNA_EXPECTS(first_removed > compacted_to_);
     if (first_removed > last_index()) return;
     if (first_removed >= tail_first_) {
       tail_.resize(static_cast<std::size_t>(first_removed - tail_first_));
@@ -209,12 +228,50 @@ class RaftLog {
     hint_ = 0;
   }
 
+  /// Drop everything up to and including index c (whose term is term_c),
+  /// folding it behind the snapshot line. Granularity is whole segments:
+  /// runs fully behind the cut are unlinked (their segments die once the
+  /// last outstanding EntryView releases them); a run straddling the cut
+  /// only advances its slice bookkeeping — the segment stays whole and
+  /// alive, which is why views handed out before compaction remain valid
+  /// without any copy-on-write here.
+  void compact_to(LogIndex c, Term term_c) {
+    DYNA_EXPECTS(c >= compacted_to_ && c <= last_index());
+    if (c == compacted_to_) return;
+    if (c >= tail_first_) seal_tail();
+    std::size_t drop = 0;
+    while (drop < runs_.size() && runs_[drop].last_index() <= c) ++drop;
+    runs_.erase(runs_.begin(), runs_.begin() + static_cast<std::ptrdiff_t>(drop));
+    if (!runs_.empty() && runs_.front().first <= c) {
+      Run& r = runs_.front();
+      const auto skip = static_cast<std::uint32_t>(c + 1 - r.first);
+      r.offset += skip;
+      r.count -= skip;
+      r.first = c + 1;
+    }
+    compacted_to_ = c;
+    compacted_term_ = term_c;
+    hint_ = 0;
+  }
+
+  /// Replace the whole log with nothing but a snapshot line at (s, term_s):
+  /// the InstallSnapshot path when the local log conflicts with (or is
+  /// entirely behind) the leader's snapshot. All segments are released.
+  void install(LogIndex s, Term term_s) {
+    runs_.clear();
+    tail_.clear();
+    tail_first_ = s + 1;
+    compacted_to_ = s;
+    compacted_term_ = term_s;
+    hint_ = 0;
+  }
+
   /// Invoke fn(entry) for each index in [first, last], walking runs and the
   /// tail as contiguous arrays — the apply loop's sequential scan without a
   /// per-entry run lookup.
   template <typename Fn>
   void for_each(LogIndex first, LogIndex last, Fn&& fn) const {
-    DYNA_EXPECTS(first >= 1 && last <= last_index());
+    DYNA_EXPECTS(first >= first_index() && last <= last_index());
     LogIndex i = first;
     while (i <= last && i < tail_first_) {
       const Run& run = run_containing(i);
@@ -231,7 +288,7 @@ class RaftLog {
   /// (as a move) and then hands out reference-counted aliases.
   [[nodiscard]] EntryView view(LogIndex first, std::size_t count) {
     if (count == 0) return {};
-    DYNA_EXPECTS(first >= 1 && first + count - 1 <= last_index());
+    DYNA_EXPECTS(first >= first_index() && first + count - 1 <= last_index());
     const LogIndex last = first + count - 1;
     if (last >= tail_first_) seal_tail();
     const Run& run = run_containing(first);
@@ -250,14 +307,21 @@ class RaftLog {
                      count);
   }
 
-  /// Replace the whole log (crash recovery). Entries must be contiguous and
-  /// 1-based, as Storage guarantees.
-  void assign(std::span<const LogEntry> entries) {
+  /// Replace the whole log (crash recovery): the durable suffix `entries`
+  /// starts right after the durable compaction line (c, term_c). Entries
+  /// must be contiguous from c + 1, as Storage guarantees.
+  void assign(LogIndex c, Term term_c, std::span<const LogEntry> entries) {
+    DYNA_EXPECTS(entries.empty() || entries.front().index == c + 1);
     runs_.clear();
-    tail_first_ = 1;
+    tail_first_ = c + 1;
     tail_.assign(entries.begin(), entries.end());
+    compacted_to_ = c;
+    compacted_term_ = term_c;
     hint_ = 0;
   }
+
+  /// Uncompacted recovery: entries are 1-based from index 1.
+  void assign(std::span<const LogEntry> entries) { assign(0, 0, entries); }
 
   /// Number of sealed runs (introspection / tests).
   [[nodiscard]] std::size_t sealed_runs() const noexcept { return runs_.size(); }
@@ -302,6 +366,8 @@ class RaftLog {
   std::vector<Run> runs_;       ///< contiguous, ascending, non-empty
   std::vector<LogEntry> tail_;  ///< open run after the last sealed slice
   LogIndex tail_first_ = 1;     ///< Raft index of tail_[0]
+  LogIndex compacted_to_ = 0;   ///< snapshot line: entries <= this are gone
+  Term compacted_term_ = 0;     ///< term of the entry at compacted_to_
   mutable std::size_t hint_ = 0;  ///< last run touched by run_containing
 };
 

@@ -79,6 +79,24 @@ struct RequestVoteResponse {
   bool granted = false;
 };
 
+/// Raft §7: ship a whole state-machine snapshot to a follower whose
+/// next_index fell behind the leader's compaction point. The snapshot rides
+/// as a shared handle — per-follower and in-flight copies bump a reference
+/// count, never duplicate the blob (the same discipline EntryView applies to
+/// log segments). The simulator's messages arrive whole, so there is no
+/// offset/done chunking.
+struct InstallSnapshotRequest {
+  Term term = 0;
+  NodeId leader = kNoNode;
+  SnapshotHandle snapshot;  ///< never null on the wire
+};
+
+struct InstallSnapshotResponse {
+  Term term = 0;
+  bool success = false;
+  LogIndex last_index = 0;  ///< snapshot index the follower now covers
+};
+
 struct ClientRequest {
   Command command;
 };
@@ -93,7 +111,8 @@ struct ClientResponse {
 
 using Message = std::variant<AppendEntriesRequest, AppendEntriesResponse, PreVoteRequest,
                              PreVoteResponse, RequestVoteRequest, RequestVoteResponse,
-                             ClientRequest, ClientResponse>;
+                             InstallSnapshotRequest, InstallSnapshotResponse, ClientRequest,
+                             ClientResponse>;
 
 /// Message classes for traffic/CPU accounting.
 enum class MsgKind : std::uint8_t {
@@ -105,6 +124,8 @@ enum class MsgKind : std::uint8_t {
   PreVoteResponse,
   Vote,
   VoteResponse,
+  InstallSnapshot,
+  InstallSnapshotResponse,
   Client,
   ClientResponse,
 };
@@ -122,6 +143,10 @@ enum class MsgKind : std::uint8_t {
 [[nodiscard]] inline std::size_t approx_size(const PreVoteResponse&) { return 32; }
 [[nodiscard]] inline std::size_t approx_size(const RequestVoteRequest&) { return 48; }
 [[nodiscard]] inline std::size_t approx_size(const RequestVoteResponse&) { return 32; }
+[[nodiscard]] inline std::size_t approx_size(const InstallSnapshotRequest& r) {
+  return 64 + (r.snapshot ? r.snapshot->data.size() : 0);
+}
+[[nodiscard]] inline std::size_t approx_size(const InstallSnapshotResponse&) { return 48; }
 [[nodiscard]] inline std::size_t approx_size(const ClientRequest& r) {
   return 48 + r.command.payload.size();
 }

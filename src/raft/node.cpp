@@ -17,6 +17,12 @@ namespace {
 [[nodiscard]] inline MsgKind kind_of(const PreVoteResponse&) { return MsgKind::PreVoteResponse; }
 [[nodiscard]] inline MsgKind kind_of(const RequestVoteRequest&) { return MsgKind::Vote; }
 [[nodiscard]] inline MsgKind kind_of(const RequestVoteResponse&) { return MsgKind::VoteResponse; }
+[[nodiscard]] inline MsgKind kind_of(const InstallSnapshotRequest&) {
+  return MsgKind::InstallSnapshot;
+}
+[[nodiscard]] inline MsgKind kind_of(const InstallSnapshotResponse&) {
+  return MsgKind::InstallSnapshotResponse;
+}
 [[nodiscard]] inline MsgKind kind_of(const ClientRequest&) { return MsgKind::Client; }
 [[nodiscard]] inline MsgKind kind_of(const ClientResponse&) { return MsgKind::ClientResponse; }
 
@@ -65,7 +71,18 @@ void RaftNode::start() {
   auto [term, voted_for] = storage_->load_hard_state();
   term_ = term;
   voted_for_ = voted_for;
-  log_.assign(storage_->load_log());
+  // Recovery = snapshot + durable suffix: restore the state machine from the
+  // persisted snapshot (if any) and replay only the entries behind it,
+  // instead of the whole log from index 1.
+  snapshot_ = storage_->load_snapshot();
+  const auto [compacted_to, compacted_term] = storage_->log_start();
+  log_.assign(compacted_to, compacted_term, storage_->load_log());
+  if (snapshot_) {
+    DYNA_ASSERT(snapshot_->last_index >= compacted_to);
+    if (restore_) restore_(*snapshot_);
+    commit_index_ = snapshot_->last_index;
+    last_applied_ = snapshot_->last_index;
+  }
   running_ = true;
   role_ = Role::Follower;
   leader_ = kNoNode;
@@ -100,6 +117,8 @@ void RaftNode::reset_for_trial(Rng rng) {
   // (reset) storage; clearing here keeps the segment store's tail capacity.
   term_ = 0;
   voted_for_ = kNoNode;
+  snapshot_.reset();  // the trial's snapshot blob must not leak into the next
+  snapshots_taken_ = 0;
 
   role_ = Role::Follower;
   leader_ = kNoNode;
@@ -449,6 +468,13 @@ void RaftNode::replicate_to(std::size_t slot) {
   DYNA_EXPECTS(role_ == Role::Leader);
   PeerState& ps = peer_state_[slot];
   const LogIndex next = ps.next_index;
+  if (next <= log_.compacted_to()) {
+    // The entries this follower needs are gone (compacted): ship the whole
+    // snapshot instead. Every replication path funnels through here —
+    // heartbeat retries, flushes and rejection rewinds alike.
+    send_install_snapshot(slot);
+    return;
+  }
   AppendEntriesRequest req;
   req.term = term_;
   req.leader = id_;
@@ -469,6 +495,23 @@ void RaftNode::replicate_to(std::size_t slot) {
   const MsgKind kind = req.entries.empty() ? MsgKind::Heartbeat : MsgKind::Append;
   ps.last_sent = sim_->now();
   send(peers_[slot], std::move(req), net::Transport::Reliable, kind);
+}
+
+void RaftNode::send_install_snapshot(std::size_t slot) {
+  DYNA_EXPECTS(role_ == Role::Leader);
+  // A compacted prefix implies a snapshot covering it (compaction only ever
+  // happens behind a freshly persisted snapshot).
+  DYNA_ASSERT(snapshot_ != nullptr && snapshot_->last_index >= log_.compacted_to());
+  PeerState& ps = peer_state_[slot];
+  InstallSnapshotRequest req;
+  req.term = term_;
+  req.leader = id_;
+  req.snapshot = snapshot_;  // handle copy: the blob itself is never duplicated
+  // Pipeline optimistically, like replicate_to; the response (or a later
+  // rejection) corrects next_index if the transfer did not take.
+  ps.next_index = snapshot_->last_index + 1;
+  ps.last_sent = sim_->now();
+  send(peers_[slot], std::move(req), net::Transport::Reliable, MsgKind::InstallSnapshot);
 }
 
 void RaftNode::maybe_advance_commit() {
@@ -518,6 +561,32 @@ void RaftNode::apply_committed() {
            MsgKind::ClientResponse);
     }
   });
+  maybe_take_snapshot();
+}
+
+void RaftNode::maybe_take_snapshot() {
+  // Compaction policy: once more than `snapshot_threshold` applied entries
+  // sit behind the last compaction point, fold them into a snapshot and drop
+  // the log prefix, keeping `snapshot_trailing` entries so slightly-lagging
+  // followers still catch up via AppendEntries. Never called mid-apply: the
+  // walk in apply_committed has finished, so the state machine is exactly at
+  // last_applied_.
+  if (config_.snapshot_threshold == 0 || !snapshot_fn_) return;
+  if (last_applied_ - log_.compacted_to() < config_.snapshot_threshold) return;
+  auto snap = std::make_shared<Snapshot>();
+  snap->last_index = last_applied_;
+  snap->last_term = log_.term_at(last_applied_);
+  snap->data = snapshot_fn_();
+  snapshot_ = std::move(snap);
+  storage_->save_snapshot(snapshot_);
+  ++snapshots_taken_;
+  const LogIndex keep = std::min<LogIndex>(config_.snapshot_trailing, last_applied_);
+  const LogIndex cut = last_applied_ - keep;
+  if (cut > log_.compacted_to()) {
+    const Term cut_term = log_.term_at(cut);
+    log_.compact_to(cut, cut_term);
+    storage_->compact_log_to(cut, cut_term);
+  }
 }
 
 // ---- Message dispatch --------------------------------------------------------------
@@ -543,6 +612,10 @@ void RaftNode::handle_message(NodeId from, const Message& message) {
           on_vote_request(from, m);
         } else if constexpr (std::is_same_v<T, RequestVoteResponse>) {
           on_vote_response(from, m);
+        } else if constexpr (std::is_same_v<T, InstallSnapshotRequest>) {
+          on_install_snapshot(from, m);
+        } else if constexpr (std::is_same_v<T, InstallSnapshotResponse>) {
+          on_install_snapshot_response(from, m);
         } else if constexpr (std::is_same_v<T, ClientRequest>) {
           on_client_request(from, m);
         } else {
@@ -589,15 +662,19 @@ void RaftNode::on_append_entries(NodeId from, const AppendEntriesRequest& req) {
 
   resp.term = term_;
 
-  // Consistency check.
+  // Consistency check. Anything at or below the compaction point is covered
+  // by the snapshot — committed state, which matches the leader's by Raft
+  // safety — so only a prev_log_index above it needs a term comparison.
   if (req.prev_log_index > last_log_index()) {
     resp.success = false;
     resp.conflict_hint = last_log_index() + 1;
-  } else if (req.prev_log_index > 0 && term_at(req.prev_log_index) != req.prev_log_term) {
-    // Back off to the first index of the conflicting term.
+  } else if (req.prev_log_index > log_.compacted_to() &&
+             term_at(req.prev_log_index) != req.prev_log_term) {
+    // Back off to the first index of the conflicting term (never past the
+    // snapshot line — everything behind it is settled).
     const Term conflict_term = term_at(req.prev_log_index);
     LogIndex hint = req.prev_log_index;
-    while (hint > 1 && term_at(hint - 1) == conflict_term) --hint;
+    while (hint > log_.first_index() && term_at(hint - 1) == conflict_term) --hint;
     resp.success = false;
     resp.conflict_hint = hint;
   } else {
@@ -611,6 +688,7 @@ void RaftNode::on_append_entries(NodeId from, const AppendEntriesRequest& req) {
       // Overlap with what we already hold: append genuinely new entries,
       // truncating on divergence, entry by entry.
       for (const LogEntry& entry : req.entries) {
+        if (entry.index <= log_.compacted_to()) continue;  // behind the snapshot
         if (entry.index <= last_log_index()) {
           if (term_at(entry.index) != entry.term) {
             storage_->truncate_from(entry.index);
@@ -685,11 +763,76 @@ void RaftNode::on_append_response(NodeId from, const AppendEntriesResponse& resp
     ps.next_index = std::max(ps.next_index, resp.match_index + 1);
     maybe_advance_commit();
   } else {
-    // Rejection: rewind and retry immediately.
+    // Rejection: rewind and retry immediately. When the rewind lands behind
+    // the compaction point, replicate_to escalates to InstallSnapshot.
     const LogIndex hint = std::max<LogIndex>(1, resp.conflict_hint);
     ps.next_index = std::min(ps.next_index, hint);
     if (ps.next_index <= last_log_index()) replicate_to(static_cast<std::size_t>(slot));
   }
+}
+
+// ---- InstallSnapshot -------------------------------------------------------------
+
+void RaftNode::on_install_snapshot(NodeId from, const InstallSnapshotRequest& req) {
+  DYNA_EXPECTS(req.snapshot != nullptr);
+  InstallSnapshotResponse resp;
+  if (req.term < term_) {
+    resp.term = term_;
+    resp.success = false;
+    send(from, std::move(resp), net::Transport::Reliable, MsgKind::InstallSnapshotResponse);
+    return;
+  }
+  if (req.term > term_ || role_ != Role::Follower || leader_ != req.leader) {
+    become_follower(req.term, req.leader);
+  } else {
+    leader_ = req.leader;
+  }
+  last_leader_contact_ = sim_->now();
+  reset_election_timer();
+  resp.term = term_;
+
+  const Snapshot& snap = *req.snapshot;
+  if (snap.last_index <= commit_index_) {
+    // Stale transfer (a race with an AppendEntries catch-up that already
+    // committed past it): everything it covers we already hold and applied.
+    resp.success = true;
+    resp.last_index = snap.last_index;
+  } else {
+    if (restore_) restore_(snap);
+    snapshot_ = req.snapshot;  // adopt the shared handle; no blob copy
+    storage_->save_snapshot(snapshot_);
+    if (snap.last_index <= last_log_index() &&
+        log_.term_at(snap.last_index) == snap.last_term) {
+      // Our log extends past the snapshot and agrees with it: keep the
+      // suffix, drop only the covered prefix.
+      log_.compact_to(snap.last_index, snap.last_term);
+      storage_->compact_log_to(snap.last_index, snap.last_term);
+    } else {
+      // Behind or divergent: the snapshot replaces the whole log.
+      log_.install(snap.last_index, snap.last_term);
+      storage_->reset_log(snap.last_index, snap.last_term);
+    }
+    commit_index_ = snap.last_index;
+    last_applied_ = snap.last_index;
+    resp.success = true;
+    resp.last_index = snap.last_index;
+  }
+  send(from, std::move(resp), net::Transport::Reliable, MsgKind::InstallSnapshotResponse);
+}
+
+void RaftNode::on_install_snapshot_response(NodeId from, const InstallSnapshotResponse& resp) {
+  if (resp.term > term_) {
+    become_follower(resp.term, kNoNode);
+    return;
+  }
+  if (role_ != Role::Leader || resp.term < term_ || !resp.success) return;
+  const int slot = peer_slot(from);
+  if (slot < 0) return;  // stranger: not one of our peers
+  PeerState& ps = peer_state_[static_cast<std::size_t>(slot)];
+  ps.match_index = std::max(ps.match_index, resp.last_index);
+  ps.next_index = std::max(ps.next_index, resp.last_index + 1);
+  maybe_advance_commit();
+  if (ps.next_index <= last_log_index()) replicate_to(static_cast<std::size_t>(slot));
 }
 
 // ---- Pre-vote ----------------------------------------------------------------------

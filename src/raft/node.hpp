@@ -32,6 +32,15 @@ class RaftNode {
   /// the result string sent back to the client (leader only).
   using ApplyFn = std::function<std::string(const LogEntry&)>;
 
+  /// Serializes the host state machine as of the entries applied so far
+  /// (called only from the apply path, so the machine is exactly at
+  /// last_applied). Wired by the cluster alongside ApplyFn.
+  using SnapshotFn = std::function<std::string()>;
+
+  /// Resets the host state machine to a snapshot's contents (recovery and
+  /// InstallSnapshot adoption).
+  using RestoreFn = std::function<void(const Snapshot&)>;
+
   RaftNode(NodeId id, std::vector<NodeId> peers, sim::Simulator& simulator,
            net::Network& network, RaftConfig config, std::shared_ptr<Storage> storage,
            std::unique_ptr<ElectionPolicy> policy, Rng rng);
@@ -68,6 +77,10 @@ class RaftNode {
   std::optional<LogIndex> submit(Command command);
 
   void set_apply(ApplyFn apply) { apply_ = std::move(apply); }
+  void set_snapshot_hooks(SnapshotFn take, RestoreFn restore) {
+    snapshot_fn_ = std::move(take);
+    restore_ = std::move(restore);
+  }
   void add_observer(Observer* observer);
 
   // ---- Introspection ---------------------------------------------------------
@@ -80,7 +93,14 @@ class RaftNode {
   [[nodiscard]] bool running() const noexcept { return running_ && !paused_; }
   [[nodiscard]] bool paused() const noexcept { return paused_; }
   [[nodiscard]] LogIndex commit_index() const noexcept { return commit_index_; }
+  [[nodiscard]] LogIndex last_applied() const noexcept { return last_applied_; }
   [[nodiscard]] LogIndex last_log_index() const noexcept { return log_.last_index(); }
+  [[nodiscard]] LogIndex first_log_index() const noexcept { return log_.first_index(); }
+  /// Index the current snapshot covers through (0 = no snapshot).
+  [[nodiscard]] LogIndex snapshot_index() const noexcept {
+    return snapshot_ ? snapshot_->last_index : 0;
+  }
+  [[nodiscard]] std::uint64_t snapshots_taken() const noexcept { return snapshots_taken_; }
   [[nodiscard]] const RaftLog& log() const noexcept { return log_; }
   [[nodiscard]] ElectionPolicy& policy() noexcept { return *policy_; }
   [[nodiscard]] const RaftConfig& config() const noexcept { return config_; }
@@ -112,6 +132,8 @@ class RaftNode {
   // ---- Message handlers ----
   void on_append_entries(NodeId from, const AppendEntriesRequest& req);
   void on_append_response(NodeId from, const AppendEntriesResponse& resp);
+  void on_install_snapshot(NodeId from, const InstallSnapshotRequest& req);
+  void on_install_snapshot_response(NodeId from, const InstallSnapshotResponse& resp);
   void on_prevote_request(NodeId from, const PreVoteRequest& req);
   void on_prevote_response(NodeId from, const PreVoteResponse& resp);
   void on_vote_request(NodeId from, const RequestVoteRequest& req);
@@ -126,8 +148,10 @@ class RaftNode {
   void schedule_flush();
   void flush_replication();
   void replicate_to(std::size_t slot);
+  void send_install_snapshot(std::size_t slot);
   void maybe_advance_commit();
   void apply_committed();
+  void maybe_take_snapshot();
 
   // ---- Helpers ----
   void persist_hard_state();
@@ -171,12 +195,16 @@ class RaftNode {
   std::unique_ptr<ElectionPolicy> policy_;
   Rng rng_;
   ApplyFn apply_;
+  SnapshotFn snapshot_fn_;
+  RestoreFn restore_;
   std::vector<Observer*> observers_;
 
   // ---- Persistent state (mirrored in storage_) ----
   Term term_ = 0;
   NodeId voted_for_ = kNoNode;
   RaftLog log_;  ///< segment store; entry i+1 lives at log_[i]
+  SnapshotHandle snapshot_;  ///< current snapshot (mirrored in storage_)
+  std::uint64_t snapshots_taken_ = 0;  ///< snapshots this node built itself
 
   // ---- Volatile state ----
   Role role_ = Role::Follower;

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -51,5 +52,19 @@ struct LogEntry {
 
   friend bool operator==(const LogEntry&, const LogEntry&) = default;
 };
+
+/// A state-machine snapshot: the serialized machine state as of applying
+/// `last_index` (whose term is `last_term`). Immutable once built; shared by
+/// handle so an in-flight InstallSnapshot copy is a reference-count bump, the
+/// same ownership discipline EntryView uses for log segments.
+struct Snapshot {
+  LogIndex last_index = 0;
+  Term last_term = 0;
+  std::string data;  ///< state-machine-specific serialization
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+using SnapshotHandle = std::shared_ptr<const Snapshot>;
 
 }  // namespace dyna::raft

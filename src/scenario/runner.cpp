@@ -45,6 +45,8 @@ cluster::ClusterConfig build_config(const ScenarioSpec& spec, std::size_t server
   cfg.links = spec.topology.schedule.value_or(net::ConditionSchedule::constant(spec.topology.base));
   cfg.transport = spec.transport;
   if (spec.raft_tick) cfg.raft.tick = *spec.raft_tick;
+  if (spec.snapshot_threshold) cfg.raft.snapshot_threshold = *spec.snapshot_threshold;
+  if (spec.snapshot_trailing) cfg.raft.snapshot_trailing = *spec.snapshot_trailing;
   cfg.request_service_time = spec.request_service_time;
   cfg.durable_log = spec.durable_log;
   cfg.perf_cost = spec.perf_cost;
@@ -99,7 +101,11 @@ std::vector<FailoverSample> run_failovers(cluster::Cluster& c, const FaultPlan& 
     }
 
     const TimePoint t_kill = c.sim().now();
-    c.pause(leader);
+    if (plan.mode == FaultMode::CrashRestart) {
+      c.crash(leader);
+    } else {
+      c.pause(leader);
+    }
 
     // Advance until a successor emerges.
     const TimePoint deadline = t_kill + plan.max_wait;
@@ -120,7 +126,11 @@ std::vector<FailoverSample> run_failovers(cluster::Cluster& c, const FaultPlan& 
     samples.push_back(sample);
 
     c.sim().run_for(plan.resume_delay);
-    c.resume(leader);
+    if (plan.mode == FaultMode::CrashRestart) {
+      c.restart(leader);  // recovers from storage: snapshot + log suffix
+    } else {
+      c.resume(leader);
+    }
   }
   return samples;
 }

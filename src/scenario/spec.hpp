@@ -84,10 +84,17 @@ struct TopologySpec {
   }
 };
 
-/// Fault plan: today's single strategy is the paper's repeated leader kill
-/// ("container sleep", §IV-B1). `kills == 0` disables fault injection.
+/// How a leader kill is delivered: the paper's "container sleep" freezes the
+/// process (volatile state survives), a crash/restart cycle loses volatile
+/// state and recovers from Storage (snapshot + log suffix). CrashRestart
+/// requires durable_log — Cluster::restart rejects log-discarding storage.
+enum class FaultMode { PauseResume, CrashRestart };
+
+/// Fault plan: repeated leader kills (§IV-B1), delivered either as
+/// pause/resume or as crash/restart. `kills == 0` disables fault injection.
 struct FaultPlan {
   std::size_t kills = 0;
+  FaultMode mode = FaultMode::PauseResume;
   /// Stabilization time before each kill (lets Dynatune warm up / retune).
   Duration settle = 10s;
   /// Give-up horizon per kill.
@@ -102,6 +109,13 @@ struct FaultPlan {
     FaultPlan f;
     f.kills = kills;
     f.settle = settle;
+    return f;
+  }
+
+  [[nodiscard]] static FaultPlan crash_restart_kills(std::size_t kills,
+                                                     Duration settle = 10s) {
+    FaultPlan f = leader_kills(kills, settle);
+    f.mode = FaultMode::CrashRestart;
     return f;
   }
 };
@@ -166,6 +180,12 @@ struct ScenarioSpec {
   net::Network::Config transport{};
   /// Override the Raft timeout tick granularity (ablation).
   std::optional<Duration> raft_tick;
+  /// Snapshot compaction knobs (see RaftConfig::snapshot_threshold /
+  /// snapshot_trailing). Applied only when set, so config_factory-supplied
+  /// configs keep their own values; unset + default factories means
+  /// compaction stays off (the reference-run default).
+  std::optional<std::size_t> snapshot_threshold;
+  std::optional<std::size_t> snapshot_trailing;
   /// Per-request FIFO CPU service time (> 0 enables the throughput pipeline).
   Duration request_service_time{0};
   bool durable_log = true;

@@ -240,6 +240,42 @@ TEST(ClusterReset, ReconfigureAcrossSizesAndVariantsMatchesFresh) {
   EXPECT_EQ(fresh, reused);
 }
 
+scenario::ScenarioSpec snapshot_crash_spec(std::uint64_t seed) {
+  scenario::ScenarioSpec spec;
+  spec.name = "reuse-snapshot";
+  spec.servers = 3;
+  spec.seed = seed;
+  spec.topology = scenario::TopologySpec::constant(40ms);
+  spec.snapshot_threshold = 25;
+  spec.snapshot_trailing = 5;
+  wl::RampConfig ramp;
+  ramp.start_rps = 100;
+  ramp.step_rps = 100;
+  ramp.max_rps = 200;
+  ramp.level_duration = 1s;
+  spec.workload = scenario::WorkloadPlan::open_loop_ramp(ramp);
+  spec.faults = scenario::FaultPlan::crash_restart_kills(1, 2s);
+  return spec;
+}
+
+TEST(ClusterReset, SnapshotStateDoesNotLeakAcrossTrials) {
+  // Trial 1 dirties every snapshot surface: nodes take snapshots, storage
+  // persists blobs and a compaction line, a crash/restart recovers from
+  // them. Trial 2 on the reused substrate must match fresh construction —
+  // i.e. reset_for_trial cleared the node's snapshot handle, the storage's
+  // blob and its durable log_start line.
+  const scenario::ScenarioSpec first = snapshot_crash_spec(31);
+  scenario::ScenarioSpec second = snapshot_crash_spec(32);
+
+  auto c = scenario::ScenarioRunner::materialize(first);
+  (void)scenario::ScenarioRunner::run_on(*c, first);
+  c->reset(second.seed);
+  const scenario::ScenarioResult reused = scenario::ScenarioRunner::run_on(*c, second);
+
+  const scenario::ScenarioResult fresh = scenario::ScenarioRunner::run(second);
+  EXPECT_EQ(fresh, reused);
+}
+
 // ---- Sweeps ------------------------------------------------------------------------
 
 scenario::SweepSpec isolation_sweep() {

@@ -23,6 +23,9 @@ gate can never flap on hardware differences:
   * fig_sweep.csv: per-cell election aggregates are deterministic; the
     trials-per-second columns (fresh / reused substrate), their ratio and
     the RSS column are timing cells.
+  * fig_compaction.csv: committed-op / live-log / snapshot / replayed-entry
+    counters are deterministic per seed; the peak-RSS and recovery-latency
+    columns are timing cells.
 
 Exit code 0 = no drift; 1 = drift (all mismatches are listed first).
 Stdlib only — no third-party dependencies.
@@ -43,13 +46,15 @@ TIMING_COLUMNS = {"real_time", "cpu_time"}
 # Machine-dependent columns of otherwise-deterministic files: skipped unless
 # the runner class matches, then compared within --timing-rtol.
 MACHINE_COLUMNS = {"sim_sec_per_wall_sec", "peak_rss_mib",
-                   "trials_per_sec_fresh", "trials_per_sec_reused", "speedup"}
+                   "trials_per_sec_fresh", "trials_per_sec_reused", "speedup",
+                   "recovery_ms"}
 
 # Columns that are identities or exact integer counters, never measurements:
 # compared as strings, no tolerance. (A 19-digit seed does not even round-trip
 # through float64, and a drifted `completed` count is a real behaviour change.)
 EXACT_COLUMNS = {"scenario", "variant", "servers", "seed", "kill", "ok", "available",
-                 "completed", "failed", "seeds", "elected", "elections", "expiries"}
+                 "completed", "failed", "seeds", "elected", "elections", "expiries",
+                 "mode", "phase", "ops", "log_entries", "snapshots", "replayed"}
 
 
 def read_csv(path):
