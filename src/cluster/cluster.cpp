@@ -41,10 +41,20 @@ Cluster::Cluster(ClusterConfig config) : cfg_(std::move(config)) {
       storages_[i] = std::make_shared<raft::NullStorage>();
     }
     service_[i] = std::make_unique<ServiceQueue>(sim_);
+    service_[i]->configure_group(group_model());
   }
   for (std::size_t i = 0; i < cfg_.servers; ++i) {
     build_node(static_cast<NodeId>(i));
   }
+}
+
+GroupCostModel Cluster::group_model() const {
+  GroupCostModel m;
+  m.per_round = cfg_.round_service_time;
+  m.per_command = cfg_.command_service_time;
+  m.max_commands = std::max<std::size_t>(1, cfg_.raft.max_batch_commands);
+  m.coalesce = cfg_.raft.group_commit;
+  return m;
 }
 
 void Cluster::reset(ClusterConfig config) {
@@ -125,6 +135,7 @@ void Cluster::reset_in_place(bool reconfigure) {
     } else {
       service_[i]->reset_for_trial();
     }
+    service_[i]->configure_group(group_model());
   }
 
   for (std::size_t i = 0; i < cfg_.servers; ++i) {
@@ -168,6 +179,12 @@ void Cluster::build_node(NodeId id) {
   node->set_snapshot_hooks(
       [this, idx] { return state_machines_[idx]->snapshot(); },
       [this, idx](const raft::Snapshot& snap) { state_machines_[idx]->restore(snap.data); });
+  // ReadIndex wiring (engages only when raft.read_index is set): the kv
+  // layer classifies reads, and a served read queries the state machine
+  // directly — apply_one, since a lone GET is never a batch frame.
+  node->set_read_hooks(
+      [](std::string_view payload) { return kv::is_read_only(payload); },
+      [this, idx](std::string_view payload) { return state_machines_[idx]->apply_one(payload); });
   node->add_observer(&probe_);
   if (perf_) node->add_observer(perf_.get());
   for (raft::Observer* o : cfg_.observers) node->add_observer(o);
@@ -182,13 +199,26 @@ void Cluster::build_node(NodeId id) {
       if (n == nullptr || !n->running()) return;
       const raft::Message* msg = payload.raft();
       if (msg == nullptr) return;
-      if (cfg_.request_service_time > Duration{0} &&
-          std::holds_alternative<raft::ClientRequest>(*msg)) {
-        // Client requests pass through the CPU before reaching consensus.
-        service_[idx]->enqueue(service_time_for(id), [this, idx, from, m = *msg] {
+      if (std::holds_alternative<raft::ClientRequest>(*msg) &&
+          (cfg_.grouped_service() || cfg_.request_service_time > Duration{0})) {
+        auto deliver = [this, idx, from, m = *msg] {
           raft::RaftNode* alive = nodes_[idx].get();
           if (alive != nullptr && alive->running()) alive->handle_message(from, m);
-        });
+        };
+        if (cfg_.grouped_service()) {
+          // Batch-aware CPU: a ReadIndex-eligible read never joins a log
+          // round — it pays only the per-command cost (the fast path is the
+          // point). Everything else shares grouped rounds.
+          const auto& payload = std::get<raft::ClientRequest>(*msg).command.payload;
+          if (cfg_.raft.read_index && kv::is_read_only(payload)) {
+            service_[idx]->enqueue(cfg_.command_service_time, std::move(deliver));
+          } else {
+            service_[idx]->enqueue_command(std::move(deliver));
+          }
+          return;
+        }
+        // Client requests pass through the CPU before reaching consensus.
+        service_[idx]->enqueue(service_time_for(id), std::move(deliver));
         return;
       }
       n->handle_message(from, *msg);
@@ -214,6 +244,11 @@ raft::RaftNode* Cluster::node_if_alive(NodeId id) {
 kv::KvStateMachine& Cluster::state_machine(NodeId id) {
   DYNA_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < state_machines_.size());
   return *state_machines_[static_cast<std::size_t>(id)];
+}
+
+ServiceQueue& Cluster::service_queue(NodeId id) {
+  DYNA_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < service_.size());
+  return *service_[static_cast<std::size_t>(id)];
 }
 
 NodeId Cluster::current_leader() const {

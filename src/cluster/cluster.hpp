@@ -47,6 +47,20 @@ struct ClusterConfig {
   /// service time before reaching Raft (throughput experiments).
   Duration request_service_time{0};
 
+  /// Batch-aware CPU cost split (grouped model): serving a round of k
+  /// coalesced client commands costs round_service_time +
+  /// k·command_service_time. Active once either is > 0 (and then takes the
+  /// client-request path over the flat request_service_time model). The
+  /// round size cap and whether commands coalesce at all mirror the raft
+  /// group-commit knobs (raft.max_batch_commands / raft.group_commit), so
+  /// the CPU model and the consensus batching tell one story.
+  Duration round_service_time{0};
+  Duration command_service_time{0};
+
+  [[nodiscard]] bool grouped_service() const noexcept {
+    return round_service_time > Duration{0} || command_service_time > Duration{0};
+  }
+
   /// Use durable per-server log storage (required for crash/restart tests).
   /// Throughput benchmarks disable it to halve memory use.
   bool durable_log = true;
@@ -99,6 +113,7 @@ class Cluster {
   [[nodiscard]] raft::RaftNode& node(NodeId id);
   [[nodiscard]] raft::RaftNode* node_if_alive(NodeId id);
   [[nodiscard]] kv::KvStateMachine& state_machine(NodeId id);
+  [[nodiscard]] ServiceQueue& service_queue(NodeId id);
 
   /// Highest-term live leader, or kNoNode.
   [[nodiscard]] NodeId current_leader() const;
@@ -128,6 +143,7 @@ class Cluster {
   void build_node(NodeId id);
   void reset_in_place(bool reconfigure);
   [[nodiscard]] Duration service_time_for(NodeId id) const;
+  [[nodiscard]] GroupCostModel group_model() const;
 
   ClusterConfig cfg_;
   sim::Simulator sim_;

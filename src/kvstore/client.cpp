@@ -17,16 +17,59 @@ KvClient::KvClient(sim::Simulator& simulator, net::Network& network, std::vector
     on_message(from, payload);
   });
   target_ = servers_[rng_.uniform_index(servers_.size())];
+  pending_.resize(16);  // power of two; grows on in-flight window overflow
 }
 
 KvClient::~KvClient() {
   // In-flight state must not reach back into a destroyed client: the retry /
   // backoff timers and the endpoint handler all capture `this`. Late server
   // responses then land on a null handler and are dropped.
-  for (auto& [seq, p] : pending_) {
-    if (p.timeout_event != sim::kInvalidEvent) sim_->cancel(p.timeout_event);
+  for (PendingSlot& s : pending_) {
+    if (s.live && s.p.timeout_event != sim::kInvalidEvent) sim_->cancel(s.p.timeout_event);
   }
   net_->set_handler(endpoint_, nullptr);
+}
+
+// ---- Pending table (open-addressed on seq) ------------------------------------
+
+KvClient::Pending* KvClient::find_pending(std::uint64_t seq) noexcept {
+  PendingSlot& s = pending_[seq & (pending_.size() - 1)];
+  return s.live && s.seq == seq ? &s.p : nullptr;
+}
+
+KvClient::Pending& KvClient::insert_pending(std::uint64_t seq) {
+  while (pending_[seq & (pending_.size() - 1)].live) grow_pending();
+  PendingSlot& s = pending_[seq & (pending_.size() - 1)];
+  s.seq = seq;
+  s.live = true;
+  ++pending_live_;
+  s.p = Pending{};
+  return s.p;
+}
+
+void KvClient::grow_pending() {
+  // Double until every live seq maps to a distinct slot (checked before
+  // moving anything, so a failed candidate size costs no element moves).
+  for (std::size_t cap = pending_.size() * 2;; cap *= 2) {
+    std::vector<char> used(cap, 0);
+    bool distinct = true;
+    for (const PendingSlot& s : pending_) {
+      if (!s.live) continue;
+      char& u = used[s.seq & (cap - 1)];
+      if (u != 0) {
+        distinct = false;
+        break;
+      }
+      u = 1;
+    }
+    if (!distinct) continue;
+    std::vector<PendingSlot> fresh(cap);
+    for (PendingSlot& s : pending_) {
+      if (s.live) fresh[s.seq & (cap - 1)] = std::move(s);
+    }
+    pending_ = std::move(fresh);
+    return;
+  }
 }
 
 void KvClient::put(std::string key, std::string value, DoneFn done) {
@@ -51,7 +94,7 @@ void KvClient::cas(std::string key, std::string expected, std::string value, Don
 
 void KvClient::submit(std::string payload, DoneFn done) {
   const std::uint64_t seq = next_seq_++;
-  Pending& p = pending_[seq];
+  Pending& p = insert_pending(seq);
   p.payload = std::move(payload);
   p.done = std::move(done);
   p.submitted = sim_->now();
@@ -59,9 +102,9 @@ void KvClient::submit(std::string payload, DoneFn done) {
 }
 
 void KvClient::send_attempt(std::uint64_t seq) {
-  const auto it = pending_.find(seq);
-  if (it == pending_.end()) return;
-  Pending& p = it->second;
+  Pending* pp = find_pending(seq);
+  if (pp == nullptr) return;
+  Pending& p = *pp;
 
   if (p.attempts >= config_.max_attempts) {
     complete(seq, false, "ERR too-many-attempts");
@@ -78,9 +121,9 @@ void KvClient::send_attempt(std::uint64_t seq) {
              64 + p.payload.size());
 
   p.timeout_event = sim_->schedule_after(config_.request_timeout, [this, seq] {
-    const auto pit = pending_.find(seq);
-    if (pit == pending_.end()) return;
-    pit->second.timeout_event = sim::kInvalidEvent;
+    Pending* pending = find_pending(seq);
+    if (pending == nullptr) return;
+    pending->timeout_event = sim::kInvalidEvent;
     rotate_target();  // leader may be down: try another server
     send_attempt(seq);
   });
@@ -101,9 +144,9 @@ void KvClient::on_message(NodeId /*from*/, const net::Message& payload) {
   const auto* resp = std::get_if<raft::ClientResponse>(msg);
   if (resp == nullptr) return;
 
-  const auto it = pending_.find(resp->client_seq);
-  if (it == pending_.end()) return;  // duplicate/late response
-  Pending& p = it->second;
+  Pending* pp = find_pending(resp->client_seq);
+  if (pp == nullptr) return;  // duplicate/late response
+  Pending& p = *pp;
 
   if (resp->ok) {
     complete(resp->client_seq, true, resp->result);
@@ -128,10 +171,11 @@ void KvClient::on_message(NodeId /*from*/, const net::Message& payload) {
 }
 
 void KvClient::complete(std::uint64_t seq, bool ok, std::string value) {
-  const auto it = pending_.find(seq);
-  DYNA_ASSERT(it != pending_.end());
-  Pending p = std::move(it->second);
-  pending_.erase(it);
+  PendingSlot& slot = pending_[seq & (pending_.size() - 1)];
+  DYNA_ASSERT(slot.live && slot.seq == seq);
+  Pending p = std::move(slot.p);
+  slot.live = false;
+  --pending_live_;
   if (p.timeout_event != sim::kInvalidEvent) sim_->cancel(p.timeout_event);
   if (ok) {
     ++completed_;

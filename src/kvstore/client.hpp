@@ -7,7 +7,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -71,7 +70,7 @@ class KvClient {
   [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
   [[nodiscard]] std::uint64_t failed() const noexcept { return failed_; }
   [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
-  [[nodiscard]] std::size_t outstanding() const noexcept { return pending_.size(); }
+  [[nodiscard]] std::size_t outstanding() const noexcept { return pending_live_; }
 
  private:
   struct Pending {
@@ -81,6 +80,17 @@ class KvClient {
     int attempts = 0;
     sim::EventId timeout_event = sim::kInvalidEvent;
   };
+
+  /// Open-addressed slot in the pending table (see pending_ below).
+  struct PendingSlot {
+    std::uint64_t seq = 0;
+    bool live = false;
+    Pending p;
+  };
+
+  [[nodiscard]] Pending* find_pending(std::uint64_t seq) noexcept;
+  Pending& insert_pending(std::uint64_t seq);
+  void grow_pending();
 
   void send_attempt(std::uint64_t seq);
   void on_message(NodeId from, const net::Message& payload);
@@ -95,7 +105,15 @@ class KvClient {
   NodeId endpoint_;
   NodeId target_;  ///< server currently believed to be the leader
   std::uint64_t next_seq_ = 1;
-  std::map<std::uint64_t, Pending> pending_;
+  /// Pending table: flat, open-addressed on `seq & (capacity-1)`. Sequence
+  /// numbers are dense and mostly-FIFO, so the direct slot is almost always
+  /// free; a live collision means the in-flight window outgrew the table and
+  /// it doubles (rehash — rare, amortized). Replaces a std::map that paid a
+  /// node allocation + red-black rebalance per request on the hottest client
+  /// path; lookup/insert/erase are now O(1) with zero steady-state
+  /// allocation.
+  std::vector<PendingSlot> pending_;
+  std::size_t pending_live_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t retries_ = 0;

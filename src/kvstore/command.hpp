@@ -10,6 +10,12 @@
 //   CAS key exp new -> "C" <key> <expected> <new>
 //
 // Each field is encoded as <decimal length> ':' <bytes>.
+//
+// Group commit adds one frame on top: a *batch* payload is "B" followed by
+// each member command payload as a length-prefixed field. The state machine
+// applies members in order and returns the member results in the same
+// length-prefixed framing, so the leader can fan one committed entry back
+// out into per-command client completions.
 #pragma once
 
 #include <optional>
@@ -124,6 +130,65 @@ inline std::optional<std::string_view> decode_field(std::string_view buf, std::s
   if (!view) return std::nullopt;
   return KvCommand{view->op, std::string(view->key), std::string(view->value),
                    std::string(view->expected)};
+}
+
+// ---- Batch frame (group commit) ---------------------------------------------------
+
+inline constexpr char kBatchTag = 'B';
+
+/// A payload carrying many commands in one log entry.
+[[nodiscard]] inline bool is_batch(std::string_view payload) noexcept {
+  return !payload.empty() && payload.front() == kBatchTag;
+}
+
+/// A read-only command: never mutates the store, so a leader with the
+/// ReadIndex fast path can answer it without a log write.
+[[nodiscard]] inline bool is_read_only(std::string_view payload) noexcept {
+  return !payload.empty() && payload.front() == static_cast<char>(Op::Get);
+}
+
+/// Append one member command payload to a batch frame under construction
+/// (starts the frame on first use). The member may itself be any encoded
+/// command — but not another batch; nesting is not part of the format.
+inline void batch_append(std::string& frame, std::string_view command_payload) {
+  DYNA_EXPECTS(!is_batch(command_payload));
+  if (frame.empty()) frame.push_back(kBatchTag);
+  detail::encode_field(frame, command_payload);
+}
+
+/// Bytes batch_append would add to a frame for this member (admission caps).
+[[nodiscard]] inline std::size_t batch_overhead(std::string_view command_payload) noexcept {
+  std::size_t digits = 1;
+  for (std::size_t n = command_payload.size(); n >= 10; n /= 10) ++digits;
+  return command_payload.size() + digits + 1;
+}
+
+/// Visit every member payload of a batch frame in order. Returns false (and
+/// stops) on a malformed frame. `fn` receives views aliasing `frame`.
+template <typename Fn>
+[[nodiscard]] inline bool for_each_batched(std::string_view frame, Fn&& fn) {
+  if (!is_batch(frame)) return false;
+  std::size_t pos = 1;
+  while (pos < frame.size()) {
+    const auto member = detail::decode_field(frame, pos);
+    if (!member) return false;
+    fn(*member);
+  }
+  return true;
+}
+
+/// Split a batch result blob (length-prefixed member results, as produced by
+/// KvStateMachine for a batch frame) into per-command results. Returns false
+/// on malformed input.
+template <typename Fn>
+[[nodiscard]] inline bool for_each_batch_result(std::string_view blob, Fn&& fn) {
+  std::size_t pos = 0;
+  while (pos < blob.size()) {
+    const auto member = detail::decode_field(blob, pos);
+    if (!member) return false;
+    fn(*member);
+  }
+  return true;
 }
 
 }  // namespace dyna::kv

@@ -48,6 +48,23 @@ class StateMachine {
 class KvStateMachine final : public StateMachine {
  public:
   std::string apply(std::string_view payload) override {
+    if (is_batch(payload)) {
+      // Group-commit frame: apply members in order, return member results in
+      // the same length-prefixed framing (the leader fans them back out to
+      // the per-command client completions). A malformed member poisons only
+      // its own result slot — the frame keeps its arity either way.
+      std::string out;
+      const bool ok = for_each_batched(payload, [&](std::string_view member) {
+        detail::encode_field(out, apply_one(member));
+      });
+      if (!ok) return "ERR malformed-batch";
+      return out;
+    }
+    return apply_one(payload);
+  }
+
+  /// Apply a single (non-batch) command payload.
+  std::string apply_one(std::string_view payload) {
     const auto cmd = decode_view(payload);
     if (!cmd) return "ERR malformed";
     switch (cmd->op) {

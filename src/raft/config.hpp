@@ -63,6 +63,24 @@ struct RaftConfig {
   /// Cap on entries per AppendEntries message.
   std::size_t max_entries_per_append = 4096;
 
+  /// Leader-side group commit: client commands arriving within the
+  /// batch_delay window coalesce into ONE multi-command log entry (a batch
+  /// frame), with per-command completion fan-out when it applies. Admission
+  /// is pipelined — a new batch accumulates while earlier ones are still in
+  /// flight. Off by default: every reference trace predates this knob.
+  bool group_commit = false;
+
+  /// Group-commit caps: a batch seals early once it holds this many commands
+  /// or this many payload bytes (whichever trips first).
+  std::size_t max_batch_commands = 64;
+  std::size_t max_batch_bytes = 64 * 1024;
+
+  /// Leader ReadIndex fast path: read-only client commands (classified by
+  /// the host's read hook) are answered from the leader's state machine
+  /// after a quorum round confirms leadership — no log write, no
+  /// replication. Off by default.
+  bool read_index = false;
+
   /// Snapshot/compaction policy: take a state-machine snapshot once more
   /// than this many applied entries sit behind the last compaction point.
   /// 0 disables snapshots entirely (the default — reference runs replay

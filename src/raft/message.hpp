@@ -38,6 +38,11 @@ struct AppendEntriesRequest {
   EntryView entries;
   LogIndex leader_commit = 0;
   std::optional<HeartbeatMeta> meta;  ///< present on measurement heartbeats
+  /// ReadIndex barrier clock (leader's value at send; 0 = feature off). The
+  /// follower echoes it so the leader can prove it was still leader when a
+  /// pending read was enqueued — piggybacked on every AppendEntries, no new
+  /// message type (the same discipline HeartbeatMeta follows).
+  std::uint64_t read_barrier = 0;
 
   [[nodiscard]] bool is_heartbeat() const noexcept { return entries.empty(); }
 };
@@ -52,6 +57,7 @@ struct AppendEntriesResponse {
   std::optional<std::uint64_t> echo_id;  ///< heartbeat id being answered
   std::optional<TimePoint> echo_send_ts; ///< leader timestamp echoed verbatim
   std::optional<Duration> tuned_heartbeat; ///< follower-computed h for this path
+  std::uint64_t barrier_ack = 0;  ///< request's read_barrier echoed verbatim
 };
 
 struct PreVoteRequest {

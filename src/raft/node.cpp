@@ -3,6 +3,13 @@
 #include <algorithm>
 #include <utility>
 
+// Group commit speaks the kv batch frame directly (batch_append /
+// for_each_batch_result). The simulator has a single state-machine family;
+// funnelling three framing callbacks through the cluster would buy no
+// generality worth the indirection. Read classification stays a hook
+// (set_read_hooks) because it genuinely belongs to the host.
+#include "kvstore/command.hpp"
+
 namespace dyna::raft {
 
 namespace {
@@ -95,6 +102,13 @@ void RaftNode::stop() {
   election_timer_.cancel();
   for (PeerState& ps : peer_state_) ps.heartbeat_timer.reset();
   broadcast_timer_.reset();
+  // A crash drops accumulated-but-unsealed commands and pending reads on the
+  // floor (clients recover via their own timeouts), exactly like unreplicated
+  // log entries.
+  batch_acc_.clear();
+  batch_acc_bytes_ = 0;
+  batch_routes_.clear();
+  pending_reads_.clear();
 }
 
 void RaftNode::reset_for_trial(Rng rng) {
@@ -139,6 +153,15 @@ void RaftNode::reset_for_trial(Rng rng) {
   match_scratch_.clear();
   frozen_election_remaining_.reset();
   frozen_broadcast_remaining_.reset();
+
+  batch_acc_.clear();
+  batch_acc_bytes_ = 0;
+  batch_routes_.clear();
+  batches_sealed_ = 0;
+  batched_commands_ = 0;
+  pending_reads_.clear();
+  barrier_clock_ = 0;
+  reads_served_ = 0;
 }
 
 void RaftNode::add_observer(Observer* observer) {
@@ -273,6 +296,7 @@ void RaftNode::become_follower(Term term, NodeId leader) {
   vote_grants_.clear();
   for (PeerState& ps : peer_state_) ps.heartbeat_timer.reset();
   broadcast_timer_.reset();
+  fail_pending_client_work();
   notify_role_change(old_role, role_);
   if (term_changed || old_role != Role::Follower) {
     refresh_randomized_timeout(/*force_redraw=*/true);
@@ -433,6 +457,7 @@ void RaftNode::send_heartbeat(std::size_t slot) {
   req.prev_log_index = last_log_index();
   req.prev_log_term = term_at(req.prev_log_index);
   req.leader_commit = commit_index_;
+  req.read_barrier = barrier_clock_;  // 0 unless ReadIndex is live
   if (config_.measure_network) {
     HeartbeatMeta meta;
     meta.id = ++ps.next_heartbeat_id;
@@ -452,7 +477,9 @@ void RaftNode::schedule_flush() {
   sim_->schedule_after(config_.batch_delay, [this] {
     flush_scheduled_ = false;
     if (!running_ || paused_) return;
+    seal_batch();
     flush_replication();
+    send_read_probes();
   });
 }
 
@@ -481,6 +508,7 @@ void RaftNode::replicate_to(std::size_t slot) {
   req.prev_log_index = next - 1;
   req.prev_log_term = term_at(req.prev_log_index);
   req.leader_commit = commit_index_;
+  req.read_barrier = barrier_clock_;  // 0 unless ReadIndex is live
   const LogIndex last = last_log_index();
   if (next <= last) {
     const std::size_t count =
@@ -550,7 +578,30 @@ void RaftNode::apply_committed() {
     std::string result;
     if (apply_ && !entry.command.is_noop()) result = apply_(entry);
     for (Observer* o : observers_) o->on_entry_committed(id_, entry, sim_->now());
-    if (role_ == Role::Leader && entry.command.client != kNoNode) {
+    if (role_ == Role::Leader && !batch_routes_.empty() &&
+        batch_routes_.front().index == entry.index) {
+      // Group-commit fan-out: one committed batch entry completes every
+      // member individually. The state machine returned member results in
+      // the frame's length-prefixed framing and order; the front route maps
+      // them back to (client, seq). Routes die with the reign (see
+      // fail_pending_client_work), so a front match is always ours.
+      BatchRoute route = std::move(batch_routes_.front());
+      batch_routes_.pop_front();
+      std::size_t member = 0;
+      const bool ok = kv::for_each_batch_result(result, [&](std::string_view one) {
+        DYNA_ASSERT(member < route.members.size());
+        ClientResponse resp;
+        resp.ok = true;
+        resp.leader_hint = id_;
+        resp.client_seq = route.members[member].second;
+        resp.index = entry.index;
+        resp.result = std::string(one);
+        send(route.members[member].first, std::move(resp), net::Transport::Reliable,
+             MsgKind::ClientResponse);
+        ++member;
+      });
+      DYNA_ASSERT(ok && member == route.members.size());
+    } else if (role_ == Role::Leader && entry.command.client != kNoNode) {
       ClientResponse resp;
       resp.ok = true;
       resp.leader_hint = id_;
@@ -561,6 +612,7 @@ void RaftNode::apply_committed() {
            MsgKind::ClientResponse);
     }
   });
+  drain_reads();  // the apply watermark moved; waiting reads may now be servable
   maybe_take_snapshot();
 }
 
@@ -661,6 +713,10 @@ void RaftNode::on_append_entries(NodeId from, const AppendEntriesRequest& req) {
   reset_election_timer();
 
   resp.term = term_;
+  // ReadIndex: echo the barrier on every same-term response — even a log
+  // mismatch confirms we regard the sender as leader for this term, which is
+  // all the quorum leadership check needs.
+  resp.barrier_ack = req.read_barrier;
 
   // Consistency check. Anything at or below the compaction point is covered
   // by the snapshot — committed state, which matches the leader's by Raft
@@ -758,6 +814,11 @@ void RaftNode::on_append_response(NodeId from, const AppendEntriesResponse& resp
     }
   }
 
+  // ReadIndex: record the highest barrier this follower has echoed. Update
+  // before maybe_advance_commit so a drain triggered by the commit advance
+  // already sees this ack.
+  if (resp.barrier_ack > ps.acked_barrier) ps.acked_barrier = resp.barrier_ack;
+
   if (resp.success) {
     ps.match_index = std::max(ps.match_index, resp.match_index);
     ps.next_index = std::max(ps.next_index, resp.match_index + 1);
@@ -769,6 +830,7 @@ void RaftNode::on_append_response(NodeId from, const AppendEntriesResponse& resp
     ps.next_index = std::min(ps.next_index, hint);
     if (ps.next_index <= last_log_index()) replicate_to(static_cast<std::size_t>(slot));
   }
+  if (!pending_reads_.empty()) drain_reads();
 }
 
 // ---- InstallSnapshot -------------------------------------------------------------
@@ -908,13 +970,53 @@ void RaftNode::on_client_request(NodeId from, const ClientRequest& req) {
     send(from, std::move(resp), net::Transport::Reliable, MsgKind::ClientResponse);
     return;
   }
+
+  // ReadIndex fast path: a read-only command never touches the log. Remember
+  // the commit index and take a barrier ticket; the read completes once a
+  // quorum echoes the ticket back (leadership confirmed after admission) and
+  // the state machine catches up to the remembered index.
+  if (config_.read_index && read_only_fn_ && read_fn_ && read_only_fn_(req.command.payload)) {
+    PendingRead pr;
+    pr.barrier = ++barrier_clock_;
+    pr.read_index = commit_index_;
+    pr.payload = req.command.payload;
+    pr.client = from;
+    pr.client_seq = req.command.client_seq;
+    pending_reads_.push_back(std::move(pr));
+    if (peers_.empty()) {
+      drain_reads();  // single-node cluster: the leader IS the quorum
+    } else {
+      schedule_flush();  // the flush rides a barrier probe to the quorum
+    }
+    return;
+  }
+
+  // Group commit: accumulate into the open batch; seal early when a cap
+  // trips, otherwise let the batch_delay flush seal the window.
+  if (config_.group_commit) {
+    const std::size_t add = kv::batch_overhead(req.command.payload);
+    if (!batch_acc_.empty() && batch_acc_bytes_ + add > config_.max_batch_bytes) {
+      seal_batch();  // this member would overflow the byte cap: seal without it
+      flush_replication();
+    }
+    batch_acc_.push_back(PendingCommand{req.command.payload, from, req.command.client_seq});
+    batch_acc_bytes_ += add;
+    if (batch_acc_.size() >= config_.max_batch_commands ||
+        batch_acc_bytes_ >= config_.max_batch_bytes) {
+      seal_batch();
+      flush_replication();
+    } else {
+      schedule_flush();
+    }
+    return;
+  }
+
   Command cmd = req.command;
   cmd.client = from;  // route the eventual response to the sender
   submit(std::move(cmd));
 }
 
-std::optional<LogIndex> RaftNode::submit(Command command) {
-  if (role_ != Role::Leader || !running_ || paused_) return std::nullopt;
+LogIndex RaftNode::append_leader_entry(Command command) {
   LogEntry entry;
   entry.term = term_;
   entry.index = last_log_index() + 1;
@@ -922,9 +1024,136 @@ std::optional<LogIndex> RaftNode::submit(Command command) {
   const LogIndex index = entry.index;
   const LogEntry& appended = log_.append(std::move(entry));
   storage_->append(std::span<const LogEntry>(&appended, 1));
+  return index;
+}
+
+std::optional<LogIndex> RaftNode::submit(Command command) {
+  if (role_ != Role::Leader || !running_ || paused_) return std::nullopt;
+  const LogIndex index = append_leader_entry(std::move(command));
   schedule_flush();
   if (majority() == 1) maybe_advance_commit();  // single-node cluster
   return index;
+}
+
+void RaftNode::seal_batch() {
+  if (batch_acc_.empty() || role_ != Role::Leader) return;
+  batch_acc_bytes_ = 0;
+  if (batch_acc_.size() == 1) {
+    // A batch of one gains nothing from the frame: submit it as a plain
+    // entry with the ordinary single-client routing (and keep the batch
+    // counters honest — nothing was coalesced).
+    PendingCommand pc = std::move(batch_acc_.front());
+    batch_acc_.clear();
+    Command cmd;
+    cmd.payload = std::move(pc.payload);
+    cmd.client = pc.client;
+    cmd.client_seq = pc.client_seq;
+    append_leader_entry(std::move(cmd));
+    if (majority() == 1) maybe_advance_commit();
+    return;
+  }
+  ++batches_sealed_;
+  batched_commands_ += batch_acc_.size();
+  std::string frame;
+  BatchRoute route;
+  route.members.reserve(batch_acc_.size());
+  for (PendingCommand& pc : batch_acc_) {
+    kv::batch_append(frame, pc.payload);
+    route.members.emplace_back(pc.client, pc.client_seq);
+  }
+  batch_acc_.clear();
+  Command cmd;
+  cmd.payload = std::move(frame);
+  // cmd.client stays kNoNode: completion fan-out is driven by the route, not
+  // the single-client field.
+  route.index = last_log_index() + 1;
+  batch_routes_.push_back(std::move(route));
+  append_leader_entry(std::move(cmd));
+  if (majority() == 1) maybe_advance_commit();
+}
+
+void RaftNode::send_read_probes() {
+  // Confirm leadership for pending reads without waiting for the next
+  // heartbeat: ship an empty AppendEntries carrying the current barrier to
+  // every follower this flush round didn't already reach (replicate_to and
+  // send_heartbeat stamp the barrier too, so a follower that just received
+  // entries needs no probe).
+  if (pending_reads_.empty() || role_ != Role::Leader) return;
+  const TimePoint now = sim_->now();
+  for (std::size_t slot = 0; slot < peer_state_.size(); ++slot) {
+    PeerState& ps = peer_state_[slot];
+    if (ps.last_sent == now) continue;
+    AppendEntriesRequest req;
+    req.term = term_;
+    req.leader = id_;
+    req.prev_log_index = last_log_index();
+    req.prev_log_term = term_at(req.prev_log_index);
+    req.leader_commit = commit_index_;
+    req.read_barrier = barrier_clock_;
+    if (config_.measure_network) {
+      HeartbeatMeta meta;
+      meta.id = ++ps.next_heartbeat_id;
+      meta.send_ts = now;
+      if (ps.has_rtt) meta.measured_rtt = ps.last_rtt;
+      req.meta = meta;
+    }
+    // Probes always ride the reliable channel: a lost ack is a stalled read,
+    // not just a late timeout reset.
+    ps.last_sent = now;
+    send(peers_[slot], std::move(req), net::Transport::Reliable, MsgKind::Heartbeat);
+  }
+}
+
+void RaftNode::drain_reads() {
+  if (pending_reads_.empty() || role_ != Role::Leader) return;
+  // ReadIndex precondition: this reign has committed an entry (its no-op),
+  // so commit_index_ provably covers every write an earlier leader could
+  // have acknowledged.
+  if (term_at(commit_index_) != term_) return;
+  while (!pending_reads_.empty()) {
+    const PendingRead& pr = pending_reads_.front();
+    if (pr.read_index > last_applied_) return;  // machine not caught up yet
+    std::size_t confirmed = 1;  // the leader itself
+    for (const PeerState& ps : peer_state_) {
+      if (ps.acked_barrier >= pr.barrier) ++confirmed;
+    }
+    if (confirmed < majority()) return;  // FIFO: later reads can't pass either
+    ClientResponse resp;
+    resp.ok = true;
+    resp.leader_hint = id_;
+    resp.client_seq = pr.client_seq;
+    resp.index = pr.read_index;
+    resp.result = read_fn_(pr.payload);
+    send(pr.client, std::move(resp), net::Transport::Reliable, MsgKind::ClientResponse);
+    ++reads_served_;
+    pending_reads_.pop_front();
+  }
+}
+
+void RaftNode::fail_pending_client_work() {
+  // Step-down: NACK accumulated-but-unsealed commands and pending reads so
+  // their clients re-route to the new leader instead of timing out. Routes
+  // for already-sealed batches die too — if those entries survive into the
+  // new reign and commit, their members' clients retry and find the result
+  // via normal redirect (same as any unacknowledged single entry).
+  for (const PendingCommand& pc : batch_acc_) {
+    ClientResponse resp;
+    resp.ok = false;
+    resp.leader_hint = leader_;
+    resp.client_seq = pc.client_seq;
+    send(pc.client, std::move(resp), net::Transport::Reliable, MsgKind::ClientResponse);
+  }
+  batch_acc_.clear();
+  batch_acc_bytes_ = 0;
+  for (const PendingRead& pr : pending_reads_) {
+    ClientResponse resp;
+    resp.ok = false;
+    resp.leader_hint = leader_;
+    resp.client_seq = pr.client_seq;
+    send(pr.client, std::move(resp), net::Transport::Reliable, MsgKind::ClientResponse);
+  }
+  pending_reads_.clear();
+  batch_routes_.clear();
 }
 
 // ---- Log helpers -----------------------------------------------------------------------

@@ -8,9 +8,12 @@
 // trial is a pure function of (config, seeds, fault schedule).
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <optional>
 #include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -40,6 +43,14 @@ class RaftNode {
   /// Resets the host state machine to a snapshot's contents (recovery and
   /// InstallSnapshot adoption).
   using RestoreFn = std::function<void(const Snapshot&)>;
+
+  /// Classifies a client payload as read-only (ReadIndex eligibility). The
+  /// raft layer stays payload-agnostic: the host supplies the classifier.
+  using ReadOnlyFn = std::function<bool(std::string_view)>;
+
+  /// Answers a read-only payload from the host state machine (called only
+  /// once the ReadIndex rule is satisfied — see drain_reads()).
+  using ReadFn = std::function<std::string(std::string_view)>;
 
   RaftNode(NodeId id, std::vector<NodeId> peers, sim::Simulator& simulator,
            net::Network& network, RaftConfig config, std::shared_ptr<Storage> storage,
@@ -81,6 +92,11 @@ class RaftNode {
     snapshot_fn_ = std::move(take);
     restore_ = std::move(restore);
   }
+  /// Wire the ReadIndex fast path (both hooks required for it to engage).
+  void set_read_hooks(ReadOnlyFn classify, ReadFn read) {
+    read_only_fn_ = std::move(classify);
+    read_fn_ = std::move(read);
+  }
   void add_observer(Observer* observer);
 
   // ---- Introspection ---------------------------------------------------------
@@ -116,6 +132,14 @@ class RaftNode {
     return policy_->heartbeat_interval(follower);
   }
 
+  // Group-commit / ReadIndex accounting (bench + leak checks).
+  [[nodiscard]] std::uint64_t batches_sealed() const noexcept { return batches_sealed_; }
+  [[nodiscard]] std::uint64_t batched_commands() const noexcept { return batched_commands_; }
+  [[nodiscard]] std::uint64_t reads_served() const noexcept { return reads_served_; }
+  [[nodiscard]] std::size_t pending_batch_commands() const noexcept { return batch_acc_.size(); }
+  [[nodiscard]] std::size_t pending_batch_routes() const noexcept { return batch_routes_.size(); }
+  [[nodiscard]] std::size_t pending_read_count() const noexcept { return pending_reads_.size(); }
+
  private:
   // ---- Role transitions ----
   void become_follower(Term term, NodeId leader);
@@ -148,6 +172,11 @@ class RaftNode {
   void schedule_flush();
   void flush_replication();
   void replicate_to(std::size_t slot);
+  LogIndex append_leader_entry(Command command);
+  void seal_batch();
+  void drain_reads();
+  void send_read_probes();
+  void fail_pending_client_work();
   void send_install_snapshot(std::size_t slot);
   void maybe_advance_commit();
   void apply_committed();
@@ -173,6 +202,7 @@ class RaftNode {
     Duration last_rtt{0};
     bool has_rtt = false;
     TimePoint last_sent = kNever;           ///< heartbeat suppression watermark
+    std::uint64_t acked_barrier = 0;        ///< highest ReadIndex barrier echoed back
     std::unique_ptr<sim::Timer> heartbeat_timer;  ///< per-follower mode only
     Duration frozen_heartbeat_remaining{0};       ///< pause() bookkeeping
     bool heartbeat_frozen = false;
@@ -237,6 +267,46 @@ class RaftNode {
   std::unique_ptr<sim::Timer> broadcast_timer_;  // broadcast mode
   bool flush_scheduled_ = false;
   std::vector<LogIndex> match_scratch_;  ///< maybe_advance_commit, reused
+
+  // ---- Group commit (leader only; config_.group_commit) ----
+  // Commands accepted within a batch_delay window accumulate here, then seal
+  // into ONE multi-command log entry. The route deque remembers, per sealed
+  // batch entry, which (client, seq) each member result fans back out to —
+  // routes and commits are both FIFO in index order, so the front route
+  // always describes the next batch entry to apply. Admission is pipelined:
+  // batch N+1 accumulates while batch N is still replicating.
+  struct PendingCommand {
+    std::string payload;
+    NodeId client = kNoNode;
+    std::uint64_t client_seq = 0;
+  };
+  struct BatchRoute {
+    LogIndex index = 0;
+    std::vector<std::pair<NodeId, std::uint64_t>> members;  ///< (client, seq)
+  };
+  std::vector<PendingCommand> batch_acc_;
+  std::size_t batch_acc_bytes_ = 0;  ///< frame bytes batch_acc_ would seal to
+  std::deque<BatchRoute> batch_routes_;
+  std::uint64_t batches_sealed_ = 0;    ///< multi-command frames only
+  std::uint64_t batched_commands_ = 0;  ///< members of those frames
+
+  // ---- ReadIndex fast path (leader only; config_.read_index) ----
+  // A pending read remembers the commit index at admission and a barrier
+  // ticket; it completes once a quorum has echoed a barrier >= the ticket
+  // (leadership confirmed after admission) and the state machine has applied
+  // through the remembered index. FIFO: reads never overtake each other.
+  struct PendingRead {
+    std::uint64_t barrier = 0;
+    LogIndex read_index = 0;
+    std::string payload;
+    NodeId client = kNoNode;
+    std::uint64_t client_seq = 0;
+  };
+  std::deque<PendingRead> pending_reads_;
+  std::uint64_t barrier_clock_ = 0;  ///< monotone; stamped on every AppendEntries
+  std::uint64_t reads_served_ = 0;
+  ReadOnlyFn read_only_fn_;
+  ReadFn read_fn_;
 
   // Pause bookkeeping for the node-wide timers.
   std::optional<Duration> frozen_election_remaining_;

@@ -14,6 +14,7 @@
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "workload/closed_loop.hpp"
 #include "workload/open_loop.hpp"
 
 namespace dyna::scenario {
@@ -69,6 +70,7 @@ struct ScenarioResult {
   std::vector<FailoverSample> failovers;
   std::vector<SamplePoint> samples;
   std::vector<wl::LevelResult> levels;
+  std::vector<wl::MixResult> mix;  ///< closed-loop pool result (0 or 1 entry)
   std::vector<PathSample> paths;
   NodeId paths_leader = kNoNode;  ///< leader when `paths` was recorded
 

@@ -48,6 +48,12 @@ cluster::ClusterConfig build_config(const ScenarioSpec& spec, std::size_t server
   if (spec.snapshot_threshold) cfg.raft.snapshot_threshold = *spec.snapshot_threshold;
   if (spec.snapshot_trailing) cfg.raft.snapshot_trailing = *spec.snapshot_trailing;
   cfg.request_service_time = spec.request_service_time;
+  cfg.round_service_time = spec.round_service_time;
+  cfg.command_service_time = spec.command_service_time;
+  if (spec.group_commit) cfg.raft.group_commit = *spec.group_commit;
+  if (spec.max_batch_commands) cfg.raft.max_batch_commands = *spec.max_batch_commands;
+  if (spec.max_batch_bytes) cfg.raft.max_batch_bytes = *spec.max_batch_bytes;
+  if (spec.read_index) cfg.raft.read_index = *spec.read_index;
   cfg.durable_log = spec.durable_log;
   cfg.perf_cost = spec.perf_cost;
   cfg.perf_bin = spec.perf_bin;
@@ -274,11 +280,18 @@ ScenarioResult ScenarioRunner::run_on(cluster::Cluster& c, const ScenarioSpec& s
   const TimePoint measure_start = c.sim().now();
 
   if (spec.workload.enabled) {
-    // Fixed RNG stream ids keep the workload trace a pure function of the
-    // cluster seed (and match the pre-scenario-API Fig 5 driver).
-    kv::KvClient client(c.sim(), c.network(), c.server_ids(), c.fork_rng(0xC11E47));
-    wl::OpenLoopRamp ramp(c, client, spec.workload.ramp, c.fork_rng(0x10AD));
-    r.levels = ramp.run();
+    if (spec.workload.kind == WorkloadPlan::Kind::ClosedLoop) {
+      // A fresh stream id: the open-loop streams below must keep their exact
+      // fork order so pre-existing reference traces stay byte-identical.
+      wl::ClosedLoopPool pool(c, spec.workload.mix, c.fork_rng(0xC10D));
+      r.mix.push_back(pool.run());
+    } else {
+      // Fixed RNG stream ids keep the workload trace a pure function of the
+      // cluster seed (and match the pre-scenario-API Fig 5 driver).
+      kv::KvClient client(c.sim(), c.network(), c.server_ids(), c.fork_rng(0xC11E47));
+      wl::OpenLoopRamp ramp(c, client, spec.workload.ramp, c.fork_rng(0x10AD));
+      r.levels = ramp.run();
+    }
   }
 
   if (spec.faults.kills > 0) {

@@ -31,6 +31,10 @@ std::vector<std::string> csv_header(CsvSection section) {
       append(h, {"offered_rps", "achieved_rps", "mean_latency_ms", "p99_latency_ms",
                  "completed", "failed"});
       break;
+    case CsvSection::Mix:
+      append(h, {"achieved_rps", "get_rps", "put_rps", "mean_latency_ms", "p99_latency_ms",
+                 "completed", "failed", "gets", "puts"});
+      break;
   }
   return h;
 }
@@ -71,6 +75,18 @@ void CsvSink::consume(const ScenarioResult& r) {
       }
       break;
     }
+    case CsvSection::Mix: {
+      for (const auto& m : r.mix) {
+        auto row = identity_cells(r);
+        append(row, {CsvWriter::cell(m.achieved_rps), CsvWriter::cell(m.get_rps),
+                     CsvWriter::cell(m.put_rps), CsvWriter::cell(m.mean_latency_ms),
+                     CsvWriter::cell(m.p99_latency_ms), std::to_string(m.completed),
+                     std::to_string(m.failed), std::to_string(m.gets),
+                     std::to_string(m.puts)});
+        csv_.row(row);
+      }
+      break;
+    }
   }
 }
 
@@ -83,9 +99,10 @@ void TableSink::consume(const ScenarioResult& r) {
                r.failovers.empty() ? "-" : metrics::Table::num(f.ots.mean),
                std::to_string(r.elections), std::to_string(r.timer_expiries),
                metrics::Table::num(r.ots_seconds, 0),
-               r.levels.empty()
-                   ? "-"
-                   : metrics::Table::num(wl::OpenLoopRamp::peak_throughput(r.levels), 0)});
+               !r.levels.empty()
+                   ? metrics::Table::num(wl::OpenLoopRamp::peak_throughput(r.levels), 0)
+                   : (!r.mix.empty() ? metrics::Table::num(r.mix.front().achieved_rps, 0)
+                                     : "-")});
   table_.row(std::move(row));
 }
 

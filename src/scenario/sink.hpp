@@ -34,7 +34,7 @@ class ResultSink {
 // ---- CSV ------------------------------------------------------------------------
 
 /// Which sample series of a result a CsvSink emits.
-enum class CsvSection { Failover, Samples, Levels };
+enum class CsvSection { Failover, Samples, Levels, Mix };
 
 [[nodiscard]] std::vector<std::string> csv_header(CsvSection section);
 

@@ -24,6 +24,7 @@
 #include "dynatune/config.hpp"
 #include "net/condition.hpp"
 #include "net/network.hpp"
+#include "workload/closed_loop.hpp"
 #include "workload/open_loop.hpp"
 
 namespace dyna::scenario {
@@ -141,15 +142,30 @@ struct SamplePlan {
   }
 };
 
-/// Open-loop workload ramp (Fig 5). Disabled until `enabled` is set.
+/// Workload attached to a scenario. Disabled until `enabled` is set. Two
+/// kinds: the Fig 5 open-loop ramp (offered rate swept level by level) and a
+/// closed-loop client pool at production intensity (mixed GET/PUT, value-size
+/// distribution, self-pacing sessions — the load shape group commit is for).
 struct WorkloadPlan {
+  enum class Kind { OpenLoop, ClosedLoop };
+
   bool enabled = false;
-  wl::RampConfig ramp{};
+  Kind kind = Kind::OpenLoop;
+  wl::RampConfig ramp{};  ///< Kind::OpenLoop
+  wl::MixConfig mix{};    ///< Kind::ClosedLoop
 
   [[nodiscard]] static WorkloadPlan open_loop_ramp(wl::RampConfig ramp) {
     WorkloadPlan w;
     w.enabled = true;
     w.ramp = ramp;
+    return w;
+  }
+
+  [[nodiscard]] static WorkloadPlan closed_loop(wl::MixConfig mix) {
+    WorkloadPlan w;
+    w.enabled = true;
+    w.kind = Kind::ClosedLoop;
+    w.mix = mix;
     return w;
   }
 };
@@ -188,6 +204,21 @@ struct ScenarioSpec {
   std::optional<std::size_t> snapshot_trailing;
   /// Per-request FIFO CPU service time (> 0 enables the throughput pipeline).
   Duration request_service_time{0};
+  /// Batch-aware CPU model: a commit round costs `round_service_time` plus
+  /// `command_service_time` per command it carries (either > 0 enables it and
+  /// supersedes `request_service_time` for client requests). With group
+  /// commit on, coalesced commands share one round — the saturated peak moves
+  /// from 1/(R+C) to B/(R+B*C).
+  Duration round_service_time{0};
+  Duration command_service_time{0};
+  /// Leader-side group commit and its caps (see RaftConfig). Applied only
+  /// when set so config_factory-supplied configs keep their own values; the
+  /// default factories ship with batching off (the reference-run default).
+  std::optional<bool> group_commit;
+  std::optional<std::size_t> max_batch_commands;
+  std::optional<std::size_t> max_batch_bytes;
+  /// Leader ReadIndex fast path for GETs (see RaftConfig::read_index).
+  std::optional<bool> read_index;
   bool durable_log = true;
   /// CPU accounting (Fig 7b).
   std::optional<cluster::CostModel> perf_cost;

@@ -12,6 +12,11 @@ std::vector<LevelResult> OpenLoopRamp::run() {
 
   for (double rate = cfg_.start_rps; rate <= cfg_.max_rps + 1e-9; rate += cfg_.step_rps) {
     latencies_ms_.clear();
+    // Completions can't exceed (roughly) the offered arrivals, so one
+    // up-front reservation per level stops the latency vector from
+    // reallocating mid-measurement at high rates. Later levels reserve more,
+    // and reserve() never shrinks, so the buffer is reused across levels.
+    latencies_ms_.reserve(static_cast<std::size_t>(rate * to_sec(cfg_.level_duration)) + 16);
     completed_ = 0;
     failed_ = 0;
 

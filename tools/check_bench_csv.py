@@ -54,7 +54,9 @@ MACHINE_COLUMNS = {"sim_sec_per_wall_sec", "peak_rss_mib",
 # through float64, and a drifted `completed` count is a real behaviour change.)
 EXACT_COLUMNS = {"scenario", "variant", "servers", "seed", "kill", "ok", "available",
                  "completed", "failed", "seeds", "elected", "elections", "expiries",
-                 "mode", "phase", "ops", "log_entries", "snapshots", "replayed"}
+                 "mode", "phase", "ops", "log_entries", "snapshots", "replayed",
+                 "max_cmds", "clients", "gets", "puts", "batches", "batched_cmds",
+                 "rounds", "reads"}
 
 
 def read_csv(path):
