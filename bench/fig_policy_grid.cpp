@@ -9,9 +9,16 @@
 // registered name is what appears in the variant column of the table and
 // the CSV, not an anonymous-custom label.
 //
-// Default grid: 4 policies x 4 conditions x 100 seeds = 1600 trials, one
-// leader kill each. Usage:
-//   fig_policy_grid [--seeds=N] [--servers=N] [--threads=T] [--csv=FILE]
+// A shards axis rides on top (--shards=1,4 by default): at each shard count
+// above 1 the grid re-runs Dynatune vs static Raft with k consensus groups
+// multiplexed onto one shared network (spec.shards), asking whether the
+// tuning verdict survives multi-group link contention. Sharded cells carry
+// a "-s<k>" suffix in the scenario column; the kill lands on shard 0.
+//
+// Default grid: (4 policies x 1 shard + 2 policies x 4 shards) x 4
+// conditions x 100 seeds = 2400 trials, one leader kill each. Usage:
+//   fig_policy_grid [--seeds=N] [--servers=N] [--shards=1,4] [--threads=T]
+//                   [--csv=FILE]
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -94,6 +101,7 @@ int main(int argc, char** argv) {
   const auto seeds = static_cast<std::size_t>(cli.scaled(cli.get_or("seeds", std::int64_t{100})));
   const auto servers = static_cast<std::size_t>(cli.get_or("servers", std::int64_t{5}));
   const auto threads = static_cast<unsigned>(cli.get_or("threads", std::int64_t{0}));
+  const auto shard_counts = cli.get_sizes("shards", {1, 4});
 
   register_custom_policies();
 
@@ -102,37 +110,48 @@ int main(int argc, char** argv) {
   scenario::SweepSpec sweep;
   sweep.base.servers = servers;
   sweep.base.faults = scenario::FaultPlan::leader_kills(1, /*settle=*/5s);
-  sweep.variants = {scenario::Variant::Raft, scenario::Variant::Dynatune,
-                    scenario::Variant::FixK};
-  sweep.policies = {"Dynatune-s4"};
   sweep.seeds = seeds;
   sweep.master_seed = 7;
   sweep.threads = threads;
 
-  const std::size_t cells = (sweep.variants.size() + sweep.policies.size());
-  std::printf("grid: %zu policies x %zu conditions x %zu seeds = %zu trials\n\n", cells,
-              conditions().size(), seeds, cells * conditions().size() * seeds);
-
   // One CSV across the whole grid, streamed trial by trial: the scenario
-  // column carries the condition name.
+  // column carries the condition name (with a -s<k> suffix when sharded).
   std::unique_ptr<scenario::CsvSink> csv;
   if (const auto csv_path = cli.get("csv")) {
     csv = std::make_unique<scenario::CsvSink>(*csv_path, scenario::CsvSection::Failover);
   }
 
   scenario::TableSink table;
-  for (const Condition& cond : conditions()) {
-    sweep.base.name = cond.name;
-    sweep.base.topology = cond.topology;
-    // One streaming pass per condition: every trial goes straight to the
-    // CSV and into the per-cell aggregate — memory stays bounded at any
-    // grid size (results arrive in enumeration order, cell-major).
-    GridSink sink(csv.get(), seeds, table);
-    scenario::ScenarioRunner::run_sweep(sweep, sink);
+  std::size_t trials = 0;
+  for (const std::size_t shards : shard_counts) {
+    sweep.base.shards = shards;
+    if (shards == 1) {
+      // The classic grid: every policy, single group.
+      sweep.variants = {scenario::Variant::Raft, scenario::Variant::Dynatune,
+                        scenario::Variant::FixK};
+      sweep.policies = {"Dynatune-s4"};
+    } else {
+      // Sharded columns: the headline Dynatune-vs-static question, k groups
+      // contending on one shared network. servers stays the per-group size.
+      sweep.variants = {scenario::Variant::Raft, scenario::Variant::Dynatune};
+      sweep.policies = {};
+    }
+    for (const Condition& cond : conditions()) {
+      sweep.base.name = shards == 1 ? cond.name
+                                    : cond.name + "-s" + std::to_string(shards);
+      sweep.base.topology = cond.topology;
+      // One streaming pass per (shards, condition): every trial goes
+      // straight to the CSV and into the per-cell aggregate — memory stays
+      // bounded at any grid size (results arrive in enumeration order,
+      // cell-major).
+      GridSink sink(csv.get(), seeds, table);
+      scenario::ScenarioRunner::run_sweep(sweep, sink);
+      trials += (sweep.variants.size() + sweep.policies.size()) * seeds;
+    }
   }
   table.print();
-  std::printf("\none row per (condition, policy) cell; detect/OTS are means over "
-              "%zu seed-paired kills\n", seeds);
+  std::printf("\n%zu trials; one row per (shards, condition, policy) cell; detect/OTS "
+              "are means over %zu seed-paired kills\n", trials, seeds);
   if (const auto csv_path = cli.get("csv")) std::printf("wrote %s\n", csv_path->c_str());
   return 0;
 }

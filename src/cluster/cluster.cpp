@@ -10,10 +10,20 @@ namespace dyna::cluster {
 
 Cluster::Cluster(ClusterConfig config) : cfg_(std::move(config)) {
   DYNA_EXPECTS(cfg_.servers >= 1);
-  Rng master(cfg_.seed);
+  DYNA_EXPECTS((cfg_.shared_sim == nullptr) == (cfg_.shared_net == nullptr));
+  DYNA_EXPECTS(cfg_.shared_sim != nullptr || cfg_.node_base == 0);
 
-  net_ = std::make_unique<net::Network>(sim_, master.fork(1), cfg_.transport);
-  net_->set_default_schedule(cfg_.links);
+  if (cfg_.shared_sim != nullptr) {
+    sim_ = cfg_.shared_sim;
+    net_ = cfg_.shared_net;
+  } else {
+    owned_sim_ = std::make_unique<sim::Simulator>();
+    sim_ = owned_sim_.get();
+    Rng master(cfg_.seed);
+    owned_net_ = std::make_unique<net::Network>(*sim_, master.fork(1), cfg_.transport);
+    net_ = owned_net_.get();
+    net_->set_default_schedule(cfg_.links);
+  }
 
   if (cfg_.perf_cost) {
     perf_ = std::make_unique<PerfModel>(*cfg_.perf_cost, cfg_.perf_bin);
@@ -33,18 +43,21 @@ Cluster::Cluster(ClusterConfig config) : cfg_(std::move(config)) {
   service_.resize(cfg_.servers);
 
   for (std::size_t i = 0; i < cfg_.servers; ++i) {
-    const NodeId id = net_->add_node();  // ids 0..servers-1, in order
-    DYNA_ASSERT(id == static_cast<NodeId>(i));
+    // Owned substrate: ids 0..servers-1. Shared substrate: the owner
+    // constructs groups in node_base order, so add_node() lands exactly on
+    // this group's slice of the id space.
+    const NodeId id = net_->add_node();
+    DYNA_ASSERT(id == cfg_.node_base + static_cast<NodeId>(i));
     if (cfg_.durable_log) {
       storages_[i] = std::make_shared<raft::MemoryStorage>();
     } else {
       storages_[i] = std::make_shared<raft::NullStorage>();
     }
-    service_[i] = std::make_unique<ServiceQueue>(sim_);
+    service_[i] = std::make_unique<ServiceQueue>(*sim_);
     service_[i]->configure_group(group_model());
   }
   for (std::size_t i = 0; i < cfg_.servers; ++i) {
-    build_node(static_cast<NodeId>(i));
+    build_node(cfg_.node_base + static_cast<NodeId>(i));
   }
 }
 
@@ -58,24 +71,45 @@ GroupCostModel Cluster::group_model() const {
 }
 
 void Cluster::reset(ClusterConfig config) {
-  cfg_ = std::move(config);
-  reset_in_place(/*reconfigure=*/true);
+  reset_begin(std::move(config));
+  reset_substrate();
+  reset_finish();
 }
 
 void Cluster::reset(std::uint64_t seed) {
-  cfg_.seed = seed;
-  reset_in_place(/*reconfigure=*/false);
+  reset_begin(seed);
+  reset_substrate();
+  reset_finish();
 }
 
-void Cluster::reset_in_place(bool reconfigure) {
+void Cluster::reset_begin(ClusterConfig config) {
+  // Substrate wiring is fixed at construction; a reconfigure reset must
+  // re-state it verbatim (shard::ShardedCluster::group_config does).
+  DYNA_EXPECTS(config.shared_sim == (owns_substrate() ? nullptr : sim_));
+  DYNA_EXPECTS(config.shared_net == (owns_substrate() ? nullptr : net_));
+  DYNA_EXPECTS(owns_substrate() ? config.node_base == 0
+                                : (config.node_base == cfg_.node_base &&
+                                   config.servers == cfg_.servers));
+  cfg_ = std::move(config);
+  pending_reconfigure_ = true;
+  teardown_nodes();
+}
+
+void Cluster::reset_begin(std::uint64_t seed) {
+  cfg_.seed = seed;
+  pending_reconfigure_ = false;
+  teardown_nodes();
+}
+
+void Cluster::teardown_nodes() {
   DYNA_EXPECTS(cfg_.servers >= 1);
 
   // Node objects survive the reset only when their wiring is provably
   // unchanged: same config (seed-only reset), same observer set (a perf
   // model is rebuilt per trial, which moves the observer pointer), and a
   // policy that knows how to reset itself. Everything else rebuilds.
-  const bool rebuild_nodes =
-      reconfigure || nodes_.size() != cfg_.servers || cfg_.perf_cost.has_value();
+  const bool rebuild_nodes = pending_reconfigure_ || nodes_.size() != cfg_.servers ||
+                             cfg_.perf_cost.has_value();
 
   // Nodes to be rebuilt are destroyed first: their timer destructors cancel
   // against the *old* simulator state. Destroying them after the reset could
@@ -87,19 +121,25 @@ void Cluster::reset_in_place(bool reconfigure) {
       n.reset();
     }
   }
+}
 
-  sim_.reset();
-  probe_.clear();
+void Cluster::reset_substrate() {
+  DYNA_EXPECTS(owns_substrate());
+  sim_->reset();
 
   Rng master(cfg_.seed);  // same stream derivation as the constructor
-  if (reconfigure) {
+  if (pending_reconfigure_) {
     net_->reset_for_trial(master.fork(1), cfg_.servers, cfg_.transport);
     net_->set_default_schedule(cfg_.links);
   } else {
     net_->reset_for_trial(master.fork(1), cfg_.servers);
   }
+}
 
-  if (reconfigure && !cfg_.policy_factory) {
+void Cluster::reset_finish() {
+  probe_.clear();
+
+  if (pending_reconfigure_ && !cfg_.policy_factory) {
     const Duration et = cfg_.raft.election_timeout;
     const Duration h = cfg_.raft.heartbeat_interval;
     cfg_.policy_factory = [et, h](NodeId) {
@@ -131,7 +171,7 @@ void Cluster::reset_in_place(bool reconfigure) {
       storages_[i]->reset_for_trial();  // keeps the log buffer capacity
     }
     if (service_[i] == nullptr) {
-      service_[i] = std::make_unique<ServiceQueue>(sim_);
+      service_[i] = std::make_unique<ServiceQueue>(*sim_);
     } else {
       service_[i]->reset_for_trial();
     }
@@ -147,30 +187,42 @@ void Cluster::reset_in_place(bool reconfigure) {
           Rng(derive_seed(cfg_.seed, 0x1000 + static_cast<std::uint64_t>(i))));
       nodes_[i]->start();
     } else {
-      build_node(static_cast<NodeId>(i));
+      build_node(cfg_.node_base + static_cast<NodeId>(i));
     }
   }
 }
 
 std::vector<NodeId> Cluster::server_ids() const {
   std::vector<NodeId> ids(cfg_.servers);
-  for (std::size_t i = 0; i < cfg_.servers; ++i) ids[i] = static_cast<NodeId>(i);
+  for (std::size_t i = 0; i < cfg_.servers; ++i) {
+    ids[i] = cfg_.node_base + static_cast<NodeId>(i);
+  }
   return ids;
 }
 
+std::size_t Cluster::index_of(NodeId id) const {
+  DYNA_EXPECTS(id >= cfg_.node_base &&
+               static_cast<std::size_t>(id - cfg_.node_base) < nodes_.size());
+  return static_cast<std::size_t>(id - cfg_.node_base);
+}
+
 void Cluster::build_node(NodeId id) {
-  const auto idx = static_cast<std::size_t>(id);
+  const std::size_t idx = index_of(id);
   std::vector<NodeId> peers;
   for (std::size_t p = 0; p < cfg_.servers; ++p) {
-    if (static_cast<NodeId>(p) != id) peers.push_back(static_cast<NodeId>(p));
+    const NodeId pid = cfg_.node_base + static_cast<NodeId>(p);
+    if (pid != id) peers.push_back(pid);
   }
 
   // Fresh state machine: on restart the node's start() restores it from the
   // persisted snapshot (if any) and replays only the log suffix behind it.
   state_machines_[idx] = std::make_unique<kv::KvStateMachine>();
 
-  Rng node_rng(derive_seed(cfg_.seed, 0x1000 + static_cast<std::uint64_t>(id)));
-  auto node = std::make_unique<raft::RaftNode>(id, std::move(peers), sim_, *net_, cfg_.raft,
+  // Streams derive from the *local* index so a shared-substrate group's rng
+  // story depends only on (group seed, slot) — and matches the in-place
+  // reset path above, which also derives by index.
+  Rng node_rng(derive_seed(cfg_.seed, 0x1000 + static_cast<std::uint64_t>(idx)));
+  auto node = std::make_unique<raft::RaftNode>(id, std::move(peers), *sim_, *net_, cfg_.raft,
                                                storages_[idx], cfg_.policy_factory(id),
                                                std::move(node_rng));
   node->set_apply([this, idx](const raft::LogEntry& entry) {
@@ -236,20 +288,13 @@ raft::RaftNode& Cluster::node(NodeId id) {
   return *n;
 }
 
-raft::RaftNode* Cluster::node_if_alive(NodeId id) {
-  DYNA_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
-  return nodes_[static_cast<std::size_t>(id)].get();
-}
+raft::RaftNode* Cluster::node_if_alive(NodeId id) { return nodes_[index_of(id)].get(); }
 
 kv::KvStateMachine& Cluster::state_machine(NodeId id) {
-  DYNA_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < state_machines_.size());
-  return *state_machines_[static_cast<std::size_t>(id)];
+  return *state_machines_[index_of(id)];
 }
 
-ServiceQueue& Cluster::service_queue(NodeId id) {
-  DYNA_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < service_.size());
-  return *service_[static_cast<std::size_t>(id)];
-}
+ServiceQueue& Cluster::service_queue(NodeId id) { return *service_[index_of(id)]; }
 
 NodeId Cluster::current_leader() const {
   NodeId best = kNoNode;
@@ -264,7 +309,7 @@ NodeId Cluster::current_leader() const {
 }
 
 bool Cluster::await_leader(Duration timeout) {
-  const TimePoint deadline = sim_.now() + timeout;
+  const TimePoint deadline = sim_->now() + timeout;
   // current_leader() walks every node. Between two polls its answer can only
   // change if some node changed role, and the probe observes every role
   // change — so recompute only when the probe's event count moves. (Nothing
@@ -273,9 +318,9 @@ bool Cluster::await_leader(Duration timeout) {
   // identical to the plain loop, which is what keeps traces bit-identical.
   std::size_t seen = probe_.role_changes().size();
   NodeId leader = current_leader();
-  while (sim_.now() < deadline) {
+  while (sim_->now() < deadline) {
     if (leader != kNoNode) return true;
-    sim_.run_for(std::chrono::milliseconds(10));
+    sim_->run_for(std::chrono::milliseconds(10));
     const std::size_t changes = probe_.role_changes().size();
     if (changes != seen) {
       seen = changes;
@@ -312,8 +357,7 @@ void Cluster::resume(NodeId id) {
 }
 
 void Cluster::crash(NodeId id) {
-  const auto idx = static_cast<std::size_t>(id);
-  DYNA_EXPECTS(idx < nodes_.size());
+  const std::size_t idx = index_of(id);
   if (nodes_[idx]) {
     nodes_[idx]->stop();
     nodes_[idx].reset();
@@ -322,8 +366,7 @@ void Cluster::crash(NodeId id) {
 }
 
 void Cluster::restart(NodeId id) {
-  const auto idx = static_cast<std::size_t>(id);
-  DYNA_EXPECTS(idx < nodes_.size());
+  const std::size_t idx = index_of(id);
   DYNA_EXPECTS(nodes_[idx] == nullptr);
   if (!storages_[idx]->durable_log()) {
     // Reviving a node over log-discarding storage would bring it back with an

@@ -74,6 +74,19 @@ struct ClusterConfig {
   std::vector<raft::Observer*> observers;
 
   std::string name = "cluster";
+
+  // ---- Shared-substrate mode (sharded multi-raft, src/shard/) ----
+  /// When set, this cluster is one consensus group multiplexed onto an
+  /// externally owned Simulator/Network instead of building its own; its
+  /// servers occupy network node ids [node_base, node_base + servers). The
+  /// owner (shard::ShardedCluster) holds the network's rng/default schedule
+  /// and drives the per-trial substrate reset via the reset_begin/
+  /// reset_finish protocol below; this cluster only builds and resets its
+  /// own nodes. Both pointers are fixed at construction — a later
+  /// reset(config) must carry the same wiring.
+  sim::Simulator* shared_sim = nullptr;
+  net::Network* shared_net = nullptr;
+  NodeId node_base = 0;
 };
 
 class Cluster {
@@ -100,9 +113,27 @@ class Cluster {
   /// per trial on a 10k-trial sweep).
   void reset(std::uint64_t seed);
 
+  /// Shared-substrate reset protocol (shard::ShardedCluster). reset() is
+  /// exactly reset_begin + substrate reset + reset_finish; the split exists
+  /// so an owner multiplexing k groups onto one Simulator/Network can call
+  /// begin on every group, reset the shared substrate once, then finish
+  /// every group. Phase order is load-bearing: reset_begin tears down node
+  /// objects against the *old* simulator state (their timer destructors must
+  /// not run after the simulator reset — a stale (slot, generation) could
+  /// alias a fresh event), and reset_finish rebuilds them against the fresh
+  /// one. In shared mode node_base/servers must not change across an
+  /// in-place reset (network handlers capture the id→group mapping); a
+  /// geometry change requires rebuilding the owner's Network outright.
+  void reset_begin(ClusterConfig config);
+  void reset_begin(std::uint64_t seed);
+  void reset_finish();
+
   // ---- Accessors ----
-  [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] sim::Simulator& sim() noexcept { return *sim_; }
   [[nodiscard]] net::Network& network() noexcept { return *net_; }
+  /// First network node id of this cluster's servers (0 unless this is a
+  /// shared-substrate group).
+  [[nodiscard]] NodeId node_base() const noexcept { return cfg_.node_base; }
   [[nodiscard]] Probe& probe() noexcept { return probe_; }
   [[nodiscard]] PerfModel* perf() noexcept { return perf_.get(); }
   [[nodiscard]] const ClusterConfig& config() const noexcept { return cfg_; }
@@ -141,13 +172,21 @@ class Cluster {
 
  private:
   void build_node(NodeId id);
-  void reset_in_place(bool reconfigure);
+  void teardown_nodes();
+  void reset_substrate();
+  [[nodiscard]] bool owns_substrate() const noexcept { return owned_sim_ != nullptr; }
+  [[nodiscard]] std::size_t index_of(NodeId id) const;
   [[nodiscard]] Duration service_time_for(NodeId id) const;
   [[nodiscard]] GroupCostModel group_model() const;
 
   ClusterConfig cfg_;
-  sim::Simulator sim_;
-  std::unique_ptr<net::Network> net_;
+  // Owned in the classic single-group case, borrowed from the owner in
+  // shared-substrate mode; sim_/net_ are always the live handles.
+  std::unique_ptr<sim::Simulator> owned_sim_;
+  std::unique_ptr<net::Network> owned_net_;
+  sim::Simulator* sim_ = nullptr;
+  net::Network* net_ = nullptr;
+  bool pending_reconfigure_ = false;  ///< set by reset_begin, read by reset_finish
   Probe probe_;
   std::unique_ptr<PerfModel> perf_;
   std::vector<std::shared_ptr<raft::Storage>> storages_;

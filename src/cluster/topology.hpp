@@ -31,8 +31,11 @@ struct WanTopology {
 
   [[nodiscard]] std::size_t size() const noexcept { return region_names.size(); }
 
-  /// Install per-pair schedules on the network for servers [0, size).
-  void apply(net::Network& network) const {
+  /// Install per-pair schedules on the network for servers
+  /// [base, base + size). `base` > 0 places the matrix onto one group of a
+  /// shared-substrate sharded deployment (each group gets its own copy of
+  /// the geography).
+  void apply(net::Network& network, NodeId base = 0) const {
     DYNA_EXPECTS(rtt.size() == size());
     for (std::size_t a = 0; a < size(); ++a) {
       DYNA_EXPECTS(rtt[a].size() == size());
@@ -41,7 +44,8 @@ struct WanTopology {
         cond.rtt = rtt[a][b];
         cond.jitter = from_ms(to_ms(rtt[a][b]) * jitter_fraction);
         cond.loss = loss;
-        network.set_path_schedule(static_cast<NodeId>(a), static_cast<NodeId>(b),
+        network.set_path_schedule(base + static_cast<NodeId>(a),
+                                  base + static_cast<NodeId>(b),
                                   net::ConditionSchedule::constant(cond));
       }
     }

@@ -5,6 +5,7 @@
 // examples use to talk to a cluster.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -57,6 +58,17 @@ class KvClient {
 
   /// This client's network endpoint id.
   [[nodiscard]] NodeId endpoint() const noexcept { return endpoint_; }
+
+  /// The server currently believed to be the leader (follows redirects).
+  [[nodiscard]] NodeId target() const noexcept { return target_; }
+
+  /// Seed the leader belief (e.g. from shard::ShardRouter's cache) so the
+  /// first op skips the random-start leader walk. `leader` must be one of
+  /// this client's servers.
+  void set_target(NodeId leader) {
+    DYNA_EXPECTS(std::find(servers_.begin(), servers_.end(), leader) != servers_.end());
+    target_ = leader;
+  }
 
   void put(std::string key, std::string value, DoneFn done);
   void get(std::string key, DoneFn done);

@@ -48,6 +48,22 @@ struct SamplePoint {
   friend bool operator==(const SamplePoint&, const SamplePoint&) = default;
 };
 
+/// Per-shard slice of a sharded run (ScenarioSpec::shards > 1): one row per
+/// consensus group with its health and its share of the workload.
+struct ShardSample {
+  std::size_t shard = 0;
+  std::size_t servers = 0;         ///< group size (== spec servers)
+  bool leader_elected = false;     ///< group has a leader at run end
+  std::uint64_t completed = 0;     ///< workload ops answered by this group
+  std::uint64_t failed = 0;
+  double achieved_rps = 0.0;       ///< completed / measurement window
+  std::size_t elections = 0;       ///< elections begun in the window
+  std::size_t timer_expiries = 0;  ///< election-timer expiries, whole run
+  std::uint64_t applied = 0;       ///< max applied index across the group
+
+  friend bool operator==(const ShardSample&, const ShardSample&) = default;
+};
+
 /// Per-follower path telemetry recorded once after warm-up (geo example).
 struct PathSample {
   NodeId follower = kNoNode;
@@ -73,6 +89,7 @@ struct ScenarioResult {
   std::vector<wl::MixResult> mix;  ///< closed-loop pool result (0 or 1 entry)
   std::vector<PathSample> paths;
   NodeId paths_leader = kNoNode;  ///< leader when `paths` was recorded
+  std::vector<ShardSample> shard_stats;  ///< one per group when shards > 1
 
   // ---- Run counters (measurement window = warm-up end .. run end) ----
   std::size_t elections = 0;       ///< elections started in the window

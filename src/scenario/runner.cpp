@@ -9,6 +9,7 @@
 #include "parallel/trial_runner.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/sink.hpp"
+#include "shard/client.hpp"
 #include "workload/open_loop.hpp"
 
 namespace dyna::scenario {
@@ -244,6 +245,56 @@ void apply_topology(cluster::Cluster& c, const ScenarioSpec& spec) {
   }
 }
 
+/// Sharded variant: every group gets its own copy of the spec topology at
+/// its node base (overrides are group-local ids).
+void apply_topology_sharded(shard::ShardedCluster& sc, const ScenarioSpec& spec) {
+  for (std::size_t g = 0; g < sc.shards(); ++g) {
+    const NodeId base = sc.shard(g).node_base();
+    if (spec.topology.wan) {
+      DYNA_EXPECTS(spec.topology.wan->size() >= spec.servers);
+      spec.topology.wan->apply(sc.network(), base);
+    }
+    for (const auto& o : spec.topology.overrides) {
+      sc.network().set_link_schedule(base + o.from, base + o.to, o.schedule);
+    }
+  }
+}
+
+// ---- Partition windows ------------------------------------------------------------
+
+/// Symmetrically (un)cut `nodes` from every *other* endpoint registered on
+/// the network. Members keep reaching each other, so listing one group's
+/// servers isolates the group whole.
+void cut_nodes(net::Network& net, const std::vector<NodeId>& nodes, bool blocked) {
+  const auto n = static_cast<NodeId>(net.node_count());
+  std::vector<char> inside(static_cast<std::size_t>(n), 0);
+  for (const NodeId id : nodes) {
+    DYNA_EXPECTS(id >= 0 && id < n);
+    inside[static_cast<std::size_t>(id)] = 1;
+  }
+  for (const NodeId a : nodes) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (inside[static_cast<std::size_t>(b)] != 0) continue;
+      net.set_blocked(a, b, blocked);
+      net.set_blocked(b, a, blocked);
+    }
+  }
+}
+
+/// Schedule the plan's symmetric partition windows relative to now (the
+/// measurement start). Endpoints registered after a window begins (e.g. a
+/// client built mid-window) are not retroactively cut.
+void schedule_partition_windows(sim::Simulator& sim, net::Network& net,
+                                const FaultPlan& plan) {
+  for (const auto& w : plan.partition_windows) {
+    if (w.nodes.empty() || w.duration <= Duration{0}) continue;
+    sim.schedule_after(w.start,
+                       [&net, nodes = w.nodes] { cut_nodes(net, nodes, true); });
+    sim.schedule_after(w.start + w.duration,
+                       [&net, nodes = w.nodes] { cut_nodes(net, nodes, false); });
+  }
+}
+
 }  // namespace
 
 std::unique_ptr<cluster::Cluster> ScenarioRunner::materialize(const ScenarioSpec& spec) {
@@ -253,8 +304,24 @@ std::unique_ptr<cluster::Cluster> ScenarioRunner::materialize(const ScenarioSpec
 }
 
 ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
+  if (spec.shards > 1) {
+    auto sc = materialize_sharded(spec);
+    return run_on(*sc, spec);
+  }
   auto c = materialize(spec);
   return run_on(*c, spec);
+}
+
+std::unique_ptr<shard::ShardedCluster> ScenarioRunner::materialize_sharded(
+    const ScenarioSpec& spec) {
+  DYNA_EXPECTS(spec.shards >= 1);
+  shard::ShardedConfig cfg;
+  cfg.shards = spec.shards;
+  cfg.partition = spec.partition_mode;
+  cfg.group = build_config(spec, spec.servers, spec.seed);
+  auto sc = std::make_unique<shard::ShardedCluster>(std::move(cfg));
+  apply_topology_sharded(*sc, spec);
+  return sc;
 }
 
 ScenarioResult ScenarioRunner::run_on(cluster::Cluster& c, const ScenarioSpec& spec) {
@@ -278,6 +345,7 @@ ScenarioResult ScenarioRunner::run_on(cluster::Cluster& c, const ScenarioSpec& s
   }
 
   const TimePoint measure_start = c.sim().now();
+  schedule_partition_windows(c.sim(), c.network(), spec.faults);
 
   if (spec.workload.enabled) {
     if (spec.workload.kind == WorkloadPlan::Kind::ClosedLoop) {
@@ -308,6 +376,102 @@ ScenarioResult ScenarioRunner::run_on(cluster::Cluster& c, const ScenarioSpec& s
   r.elections = c.probe().elections_started_in(measure_start, c.sim().now());
   r.timer_expiries = c.probe().timeouts().size();
   r.sim_seconds = to_sec(c.sim().now());
+  return r;
+}
+
+ScenarioResult ScenarioRunner::run_on(shard::ShardedCluster& sc, const ScenarioSpec& spec) {
+  ScenarioResult r;
+  r.scenario = spec.name;
+  r.servers = spec.servers;  // per-group size; shards arrive via shard_stats
+  r.seed = spec.seed;
+  r.variant = sc.shard(0).config().name;
+
+  r.leader_elected = sc.await_all_leaders(spec.await_leader);
+  if (!r.leader_elected) {
+    for (std::size_t g = 0; g < sc.shards(); ++g) {
+      r.timer_expiries += sc.shard(g).probe().timeouts().size();
+    }
+    r.sim_seconds = to_sec(sc.sim().now());
+    return r;
+  }
+  sc.sim().run_for(spec.warmup);
+
+  if (spec.sample_paths) {
+    r.paths_leader = sc.shard(0).current_leader();
+    r.paths = record_paths(sc.shard(0), r.paths_leader);
+  }
+
+  const TimePoint measure_start = sc.sim().now();
+  schedule_partition_windows(sc.sim(), sc.network(), spec.faults);
+
+  // One router serves the whole run; the workload publishes discovered
+  // leaders into it as it goes.
+  shard::ShardRouter router = sc.make_router();
+  std::vector<wl::ShardOps> shard_ops(sc.shards());
+
+  if (spec.workload.enabled) {
+    if (spec.workload.kind == WorkloadPlan::Kind::ClosedLoop) {
+      // Same stream ids as the unsharded path: the trace is a pure function
+      // of (config, master seed) either way.
+      wl::ClosedLoopPool pool(sc, router, spec.workload.mix, sc.fork_rng(0xC10D));
+      r.mix.push_back(pool.run());
+      shard_ops = pool.per_shard();
+    } else {
+      shard::ShardedKvClient client(sc, router, sc.fork_rng(0xC11E47));
+      wl::OpenLoopRamp ramp(sc, client, spec.workload.ramp, sc.fork_rng(0x10AD));
+      r.levels = ramp.run();
+      for (std::size_t g = 0; g < sc.shards(); ++g) {
+        shard_ops[g].completed = client.client(g).completed();
+        shard_ops[g].failed = client.client(g).failed();
+      }
+    }
+  }
+
+  if (spec.faults.kills > 0) {
+    // Kills round-robin across groups: kill k lands on group k % shards, so
+    // every group's failover path gets exercised and the sample count still
+    // matches the plan.
+    FaultPlan one = spec.faults;
+    one.kills = 1;
+    for (std::size_t k = 0; k < spec.faults.kills; ++k) {
+      const auto samples = run_failovers(sc.shard(k % sc.shards()), one);
+      r.failovers.insert(r.failovers.end(), samples.begin(), samples.end());
+    }
+  }
+
+  if (spec.samples.duration > Duration{0}) {
+    // Timeline telemetry reads group 0 (its link (base, base+1), its leader
+    // pace); availability in the samples is also group 0's — per-group
+    // health lands in shard_stats below.
+    r.samples = run_samples(sc.shard(0), spec.samples);
+    for (const auto& p : r.samples) {
+      if (!p.available) r.ots_seconds += to_sec(spec.samples.sample_every);
+    }
+  }
+
+  const TimePoint now = sc.sim().now();
+  const double window_sec = to_sec(now - measure_start);
+  for (std::size_t g = 0; g < sc.shards(); ++g) {
+    cluster::Cluster& c = sc.shard(g);
+    ShardSample s;
+    s.shard = g;
+    s.servers = spec.servers;
+    s.leader_elected = c.current_leader() != kNoNode;
+    s.completed = shard_ops[g].completed;
+    s.failed = shard_ops[g].failed;
+    if (window_sec > 0.0) s.achieved_rps = static_cast<double>(s.completed) / window_sec;
+    s.elections = c.probe().elections_started_in(measure_start, now);
+    s.timer_expiries = c.probe().timeouts().size();
+    for (const NodeId id : c.server_ids()) {
+      if (auto* n = c.node_if_alive(id); n != nullptr) {
+        s.applied = std::max(s.applied, static_cast<std::uint64_t>(n->last_applied()));
+      }
+    }
+    r.shard_stats.push_back(s);
+    r.elections += s.elections;
+    r.timer_expiries += s.timer_expiries;
+  }
+  r.sim_seconds = to_sec(now);
   return r;
 }
 
@@ -392,17 +556,35 @@ class SweepExecutor {
 
     if (!sweep_->reuse_substrate) {
       slot.cluster.reset();
+      slot.sharded.reset();
       return ScenarioRunner::run(slot.spec);
+    }
+    // The seed-only fast path may skip recompiling the config ONLY when
+    // the config is a pure function of (variant, size): a config_factory
+    // or registry policy receives the trial seed and may legitimately
+    // vary with it, so those recompile (and rebuild nodes) every trial.
+    const bool seed_dependent_config =
+        slot.spec.config_factory != nullptr || !slot.spec.policy.empty();
+    if (slot.spec.shards > 1) {
+      if (slot.sharded == nullptr) {
+        slot.sharded = ScenarioRunner::materialize_sharded(slot.spec);
+      } else {
+        if (new_cell || seed_dependent_config) {
+          shard::ShardedConfig cfg;
+          cfg.shards = slot.spec.shards;
+          cfg.partition = slot.spec.partition_mode;
+          cfg.group = build_config(slot.spec, slot.spec.servers, seed);
+          slot.sharded->reset(std::move(cfg));
+        } else {
+          slot.sharded->reset(seed);
+        }
+        apply_topology_sharded(*slot.sharded, slot.spec);
+      }
+      return ScenarioRunner::run_on(*slot.sharded, slot.spec);
     }
     if (slot.cluster == nullptr) {
       slot.cluster = ScenarioRunner::materialize(slot.spec);
     } else {
-      // The seed-only fast path may skip recompiling the config ONLY when
-      // the config is a pure function of (variant, size): a config_factory
-      // or registry policy receives the trial seed and may legitimately
-      // vary with it, so those recompile (and rebuild nodes) every trial.
-      const bool seed_dependent_config =
-          slot.spec.config_factory != nullptr || !slot.spec.policy.empty();
       if (new_cell || seed_dependent_config) {
         slot.cluster->reset(build_config(slot.spec, slot.spec.servers, seed));
       } else {
@@ -418,6 +600,7 @@ class SweepExecutor {
     std::size_t cell = static_cast<std::size_t>(-1);
     ScenarioSpec spec;
     std::unique_ptr<cluster::Cluster> cluster;
+    std::unique_ptr<shard::ShardedCluster> sharded;
   };
 
   const SweepSpec* sweep_;

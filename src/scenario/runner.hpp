@@ -18,6 +18,7 @@
 #include "cluster/cluster.hpp"
 #include "scenario/result.hpp"
 #include "scenario/spec.hpp"
+#include "shard/sharded_cluster.hpp"
 
 namespace dyna::scenario {
 
@@ -42,6 +43,19 @@ class ScenarioRunner {
   /// with the same topology; simulated time continues from wherever the
   /// cluster is.
   [[nodiscard]] static ScenarioResult run_on(cluster::Cluster& cluster,
+                                             const ScenarioSpec& spec);
+
+  /// Sharded materialization (spec.shards > 1): k groups of spec.servers on
+  /// one shared Simulator/Network, topology applied per group at its node
+  /// base. run() dispatches here automatically; exposed for callers that
+  /// need live access to the groups.
+  [[nodiscard]] static std::unique_ptr<shard::ShardedCluster> materialize_sharded(
+      const ScenarioSpec& spec);
+
+  /// Execute the spec's run shape on a sharded deployment: await every
+  /// group's leader, warm up, route the workload through a ShardRouter,
+  /// round-robin leader kills across groups, then fill per-shard stats.
+  [[nodiscard]] static ScenarioResult run_on(shard::ShardedCluster& cluster,
                                              const ScenarioSpec& spec);
 
   /// Execute the sweep's cross product (variant-major — built-in variants

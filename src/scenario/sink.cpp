@@ -35,6 +35,10 @@ std::vector<std::string> csv_header(CsvSection section) {
       append(h, {"achieved_rps", "get_rps", "put_rps", "mean_latency_ms", "p99_latency_ms",
                  "completed", "failed", "gets", "puts"});
       break;
+    case CsvSection::Shard:
+      append(h, {"shard", "shard_servers", "elected", "completed", "failed", "rps",
+                 "elections", "expiries", "applied"});
+      break;
   }
   return h;
 }
@@ -83,6 +87,18 @@ void CsvSink::consume(const ScenarioResult& r) {
                      CsvWriter::cell(m.p99_latency_ms), std::to_string(m.completed),
                      std::to_string(m.failed), std::to_string(m.gets),
                      std::to_string(m.puts)});
+        csv_.row(row);
+      }
+      break;
+    }
+    case CsvSection::Shard: {
+      for (const auto& s : r.shard_stats) {
+        auto row = identity_cells(r);
+        append(row, {std::to_string(s.shard), std::to_string(s.servers),
+                     s.leader_elected ? "1" : "0", std::to_string(s.completed),
+                     std::to_string(s.failed), CsvWriter::cell(s.achieved_rps),
+                     std::to_string(s.elections), std::to_string(s.timer_expiries),
+                     std::to_string(s.applied)});
         csv_.row(row);
       }
       break;

@@ -34,7 +34,7 @@ class ResultSink {
 // ---- CSV ------------------------------------------------------------------------
 
 /// Which sample series of a result a CsvSink emits.
-enum class CsvSection { Failover, Samples, Levels, Mix };
+enum class CsvSection { Failover, Samples, Levels, Mix, Shard };
 
 [[nodiscard]] std::vector<std::string> csv_header(CsvSection section);
 

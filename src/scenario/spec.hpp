@@ -24,6 +24,7 @@
 #include "dynatune/config.hpp"
 #include "net/condition.hpp"
 #include "net/network.hpp"
+#include "shard/router.hpp"
 #include "workload/closed_loop.hpp"
 #include "workload/open_loop.hpp"
 
@@ -92,7 +93,9 @@ struct TopologySpec {
 enum class FaultMode { PauseResume, CrashRestart };
 
 /// Fault plan: repeated leader kills (§IV-B1), delivered either as
-/// pause/resume or as crash/restart. `kills == 0` disables fault injection.
+/// pause/resume or as crash/restart, plus scheduled symmetric network
+/// partitions. `kills == 0` with no partition windows disables fault
+/// injection.
 struct FaultPlan {
   std::size_t kills = 0;
   FaultMode mode = FaultMode::PauseResume;
@@ -106,6 +109,20 @@ struct FaultPlan {
   /// the NTP error of the multi-machine AWS experiment. nullopt = one clock.
   std::optional<double> clock_skew_ms;
 
+  /// Symmetric partition window: `start` after measurement begins, the
+  /// listed nodes are cut from every other registered endpoint (both
+  /// directions, all transports — Network::set_blocked), healing after
+  /// `duration`. Nodes inside the set still reach each other, so a window
+  /// listing one group's members isolates that group without splitting it.
+  struct PartitionWindow {
+    Duration start{0};
+    Duration duration = 1s;
+    std::vector<NodeId> nodes;
+  };
+  /// Windows are scheduled up front when measurement starts, independent of
+  /// the kill loop (they fire during workload, kill and sample phases alike).
+  std::vector<PartitionWindow> partition_windows;
+
   [[nodiscard]] static FaultPlan leader_kills(std::size_t kills, Duration settle = 10s) {
     FaultPlan f;
     f.kills = kills;
@@ -117,6 +134,12 @@ struct FaultPlan {
                                                      Duration settle = 10s) {
     FaultPlan f = leader_kills(kills, settle);
     f.mode = FaultMode::CrashRestart;
+    return f;
+  }
+
+  [[nodiscard]] static FaultPlan partitions(std::vector<PartitionWindow> windows) {
+    FaultPlan f;
+    f.partition_windows = std::move(windows);
     return f;
   }
 };
@@ -190,6 +213,14 @@ struct ScenarioSpec {
 
   std::size_t servers = 5;
   std::uint64_t seed = 1;
+
+  // ---- Sharding (src/shard/) ----
+  /// Number of independent consensus groups behind the keyspace router;
+  /// 1 = the classic single-group path, byte-identical to pre-sharding runs.
+  /// `servers` is the per-group size, so total nodes = shards * servers.
+  std::size_t shards = 1;
+  /// How the router splits the keyspace across groups (shards > 1 only).
+  shard::PartitionMode partition_mode = shard::PartitionMode::Hash;
 
   // ---- Network / host model ----
   TopologySpec topology{};

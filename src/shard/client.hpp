@@ -1,0 +1,59 @@
+// Sharded KV client: one kv::KvClient per consensus group behind a shared
+// ShardRouter. Each op routes by key, rides the group client's normal
+// redirect/retry machinery, and on success publishes the discovered leader
+// back to the router — so every client constructed later starts its first op
+// at the right server instead of walking the group.
+//
+// One ShardedKvClient == one logical client session whose key mix spans
+// shards (a closed-loop session, an open-loop generator, an example). Group
+// clients fork their rngs from this client's stream in fixed shard order.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kvstore/client.hpp"
+#include "shard/sharded_cluster.hpp"
+
+namespace dyna::shard {
+
+class ShardedKvClient {
+ public:
+  ShardedKvClient(ShardedCluster& sc, ShardRouter& router, Rng rng,
+                  kv::KvClient::Config config = {});
+
+  ShardedKvClient(const ShardedKvClient&) = delete;
+  ShardedKvClient& operator=(const ShardedKvClient&) = delete;
+
+  void put(std::string key, std::string value, kv::KvClient::DoneFn done);
+  void get(std::string key, kv::KvClient::DoneFn done);
+  void del(std::string key, kv::KvClient::DoneFn done);
+
+  /// Raw encoded command; the routing key is decoded from the payload.
+  void submit(std::string payload, kv::KvClient::DoneFn done);
+
+  [[nodiscard]] std::size_t shard_of(std::string_view key) const {
+    return router_->shard_of(key);
+  }
+  [[nodiscard]] kv::KvClient& client(std::size_t shard) {
+    DYNA_EXPECTS(shard < clients_.size());
+    return *clients_[shard];
+  }
+  [[nodiscard]] const ShardRouter& router() const noexcept { return *router_; }
+
+  // ---- Counters (aggregated over group clients) ----
+  [[nodiscard]] std::uint64_t completed() const noexcept;
+  [[nodiscard]] std::uint64_t failed() const noexcept;
+  [[nodiscard]] std::uint64_t retries() const noexcept;
+
+ private:
+  /// Wrap a completion so a successful op publishes the leader it ended on.
+  [[nodiscard]] kv::KvClient::DoneFn publish_leader(std::size_t shard,
+                                                    kv::KvClient::DoneFn done);
+
+  ShardRouter* router_;
+  std::vector<std::unique_ptr<kv::KvClient>> clients_;  // one per shard
+};
+
+}  // namespace dyna::shard

@@ -1,0 +1,105 @@
+#include "shard/sharded_cluster.hpp"
+
+namespace dyna::shard {
+
+ShardedCluster::ShardedCluster(ShardedConfig config) : cfg_(std::move(config)) {
+  DYNA_EXPECTS(cfg_.shards >= 1);
+  DYNA_EXPECTS(cfg_.group.servers >= 1);
+  DYNA_EXPECTS(cfg_.group.shared_sim == nullptr && cfg_.group.shared_net == nullptr);
+  DYNA_EXPECTS(cfg_.group.node_base == 0);
+  build_network();
+  build_groups();
+}
+
+cluster::ClusterConfig ShardedCluster::group_config(std::size_t g) {
+  cluster::ClusterConfig c = cfg_.group;
+  c.seed = group_seed(cfg_.group.seed, g);
+  c.shared_sim = &sim_;
+  c.shared_net = net_.get();
+  c.node_base = static_cast<NodeId>(g * cfg_.group.servers);
+  return c;
+}
+
+void ShardedCluster::build_network() {
+  // Same rng stream derivation as a standalone Cluster: the network draws
+  // jitter from fork(1) of the master seed. One shared stream for every
+  // group — link-level randomness couples the groups by construction.
+  Rng master(cfg_.group.seed);
+  net_ = std::make_unique<net::Network>(sim_, master.fork(1), cfg_.group.transport);
+  net_->set_default_schedule(cfg_.group.links);
+}
+
+void ShardedCluster::build_groups() {
+  groups_.reserve(cfg_.shards);
+  for (std::size_t g = 0; g < cfg_.shards; ++g) {
+    // Construction order is the id-assignment order: group g's ctor calls
+    // add_node() exactly `servers` times, landing on its node_base slice.
+    groups_.push_back(std::make_unique<cluster::Cluster>(group_config(g)));
+  }
+}
+
+void ShardedCluster::reset(ShardedConfig config) {
+  const bool regeometry = config.shards != groups_.size() ||
+                          config.group.servers != cfg_.group.servers;
+  cfg_ = std::move(config);
+  DYNA_EXPECTS(cfg_.shards >= 1);
+  DYNA_EXPECTS(cfg_.group.servers >= 1);
+  DYNA_EXPECTS(cfg_.group.shared_sim == nullptr && cfg_.group.shared_net == nullptr);
+  DYNA_EXPECTS(cfg_.group.node_base == 0);
+
+  if (regeometry) {
+    // Different shard count or group size: installed network handlers
+    // capture the old id→group mapping, so rebuild the network outright.
+    // Groups die first, against the still-live simulator.
+    groups_.clear();
+    sim_.reset();
+    build_network();
+    build_groups();
+    return;
+  }
+
+  // In-place path: three phases, substrate reset exactly once in the middle.
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    groups_[g]->reset_begin(group_config(g));
+  }
+  sim_.reset();
+  Rng master(cfg_.group.seed);
+  net_->reset_for_trial(master.fork(1), total_servers(), cfg_.group.transport);
+  net_->set_default_schedule(cfg_.group.links);
+  for (auto& g : groups_) g->reset_finish();
+}
+
+void ShardedCluster::reset(std::uint64_t seed) {
+  cfg_.group.seed = seed;
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    groups_[g]->reset_begin(group_seed(seed, g));
+  }
+  sim_.reset();
+  Rng master(seed);
+  net_->reset_for_trial(master.fork(1), total_servers());
+  for (auto& g : groups_) g->reset_finish();
+}
+
+bool ShardedCluster::await_all_leaders(Duration timeout) {
+  const TimePoint deadline = sim_.now() + timeout;
+  auto all_led = [this] {
+    for (auto& g : groups_) {
+      if (g->current_leader() == kNoNode) return false;
+    }
+    return true;
+  };
+  while (!all_led()) {
+    if (sim_.now() >= deadline) return false;
+    sim_.run_for(std::chrono::milliseconds(10));
+  }
+  return true;
+}
+
+bool all_shards_available(ShardedCluster& sc) {
+  for (std::size_t g = 0; g < sc.shards(); ++g) {
+    if (!cluster::service_available(sc.shard(g))) return false;
+  }
+  return true;
+}
+
+}  // namespace dyna::shard

@@ -1,0 +1,105 @@
+// Sharded multi-raft deployment: k independent cluster::Cluster consensus
+// groups multiplexed onto ONE Simulator and ONE Network. Sharing the
+// substrate is the point — every group's traffic rides the same dense n×n
+// link table, so groups genuinely contend for links (and for the network's
+// jitter rng), which is the interference question the policy grid probes.
+//
+// Group g owns network node ids [g*servers, (g+1)*servers); client
+// endpoints land after every server. Per-group seeds fork from the master
+// seed in fixed group order, so a run is a pure function of (config, seed)
+// exactly like a single cluster.
+//
+// Reset contract: reset-in-place per trial, same as Cluster (fresh ==
+// reused, pinned by tests). The three-phase protocol matters — every
+// group's reset_begin runs first (node teardown against the OLD simulator),
+// then the shared Simulator/Network reset exactly once, then every group's
+// reset_finish (rebuild against the fresh substrate). A geometry change
+// (different shards or servers-per-group) rebuilds the Network outright:
+// installed handlers capture the id→group mapping, which a re-stride would
+// silently invalidate.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "shard/router.hpp"
+
+namespace dyna::shard {
+
+struct ShardedConfig {
+  std::size_t shards = 2;
+  /// Router partition mode baked into make_router().
+  PartitionMode partition = PartitionMode::Hash;
+  /// Per-group template: `servers` is the group size, `seed` the master
+  /// seed (each group derives its own), everything else applies verbatim to
+  /// every group. shared_sim/shared_net/node_base must stay null/0 — the
+  /// ShardedCluster fills them per group.
+  cluster::ClusterConfig group;
+};
+
+class ShardedCluster {
+ public:
+  explicit ShardedCluster(ShardedConfig config);
+
+  ShardedCluster(const ShardedCluster&) = delete;
+  ShardedCluster& operator=(const ShardedCluster&) = delete;
+
+  /// Rebuild-in-place for a new trial; observationally identical to a fresh
+  /// ShardedCluster(config). Geometry changes take the network-rebuild path.
+  void reset(ShardedConfig config);
+
+  /// Seed-only fast path, mirroring Cluster::reset(seed).
+  void reset(std::uint64_t seed);
+
+  // ---- Accessors ----
+  [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] net::Network& network() noexcept { return *net_; }
+  [[nodiscard]] const ShardedConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::size_t shards() const noexcept { return groups_.size(); }
+  [[nodiscard]] std::size_t total_servers() const noexcept {
+    return cfg_.shards * cfg_.group.servers;
+  }
+  [[nodiscard]] cluster::Cluster& shard(std::size_t s) {
+    DYNA_EXPECTS(s < groups_.size());
+    return *groups_[s];
+  }
+
+  /// A router matching this deployment's shard count and partition mode.
+  [[nodiscard]] ShardRouter make_router() const {
+    return ShardRouter(cfg_.shards, cfg_.partition);
+  }
+
+  /// Advance simulation until every group has a leader (true) or `timeout`
+  /// elapses. Groups elect concurrently on the shared substrate.
+  bool await_all_leaders(Duration timeout);
+
+  /// The seed group g derives from `master` (exposed for tests).
+  [[nodiscard]] static std::uint64_t group_seed(std::uint64_t master, std::size_t g) {
+    return derive_seed(master, 0x5AAD00 + g);
+  }
+
+  /// Fork an independent RNG stream for drivers built on this deployment
+  /// (same derivation as Cluster::fork_rng, keyed by the master seed).
+  [[nodiscard]] Rng fork_rng(std::uint64_t stream) const {
+    return Rng(derive_seed(cfg_.group.seed, 0xC0FFEE ^ stream));
+  }
+
+ private:
+  [[nodiscard]] cluster::ClusterConfig group_config(std::size_t g);
+  void build_network();
+  void build_groups();
+
+  ShardedConfig cfg_;
+  // Declaration order is destruction order in reverse: groups_ dies first
+  // (node/timer destructors cancel against the still-live simulator), then
+  // the network, then the simulator.
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> net_;
+  std::vector<std::unique_ptr<cluster::Cluster>> groups_;
+};
+
+/// True when every group can commit (service_available per group).
+[[nodiscard]] bool all_shards_available(ShardedCluster& sc);
+
+}  // namespace dyna::shard

@@ -8,7 +8,7 @@
 namespace dyna::wl {
 
 ClosedLoopPool::ClosedLoopPool(cluster::Cluster& cluster, MixConfig config, Rng rng)
-    : cluster_(&cluster), cfg_(config), rng_(std::move(rng)) {
+    : cluster_(&cluster), sim_(&cluster.sim()), cfg_(config), rng_(std::move(rng)) {
   DYNA_EXPECTS(cfg_.clients >= 1);
   DYNA_EXPECTS(cfg_.get_ratio >= 0.0 && cfg_.get_ratio <= 1.0);
   DYNA_EXPECTS(cfg_.value_bytes_min <= cfg_.value_bytes_max);
@@ -22,7 +22,29 @@ ClosedLoopPool::ClosedLoopPool(cluster::Cluster& cluster, MixConfig config, Rng 
     Rng session_rng = rng_.fork(2 * i);
     auto client = std::make_unique<kv::KvClient>(cluster_->sim(), cluster_->network(), servers,
                                                  rng_.fork(2 * i + 1));
-    sessions_.push_back(Session{std::move(client), std::move(session_rng), 0});
+    sessions_.push_back(
+        Session{std::move(client), nullptr, std::move(session_rng), 0, kUnpinned});
+  }
+}
+
+ClosedLoopPool::ClosedLoopPool(shard::ShardedCluster& sharded, shard::ShardRouter& router,
+                               MixConfig config, Rng rng)
+    : router_(&router), sim_(&sharded.sim()), cfg_(config), rng_(std::move(rng)) {
+  DYNA_EXPECTS(cfg_.clients >= 1);
+  DYNA_EXPECTS(cfg_.get_ratio >= 0.0 && cfg_.get_ratio <= 1.0);
+  DYNA_EXPECTS(cfg_.value_bytes_min <= cfg_.value_bytes_max);
+  DYNA_EXPECTS(cfg_.duration > Duration{0});
+  per_shard_.resize(router.shards());
+  sessions_.reserve(cfg_.clients);
+  for (std::size_t i = 0; i < cfg_.clients; ++i) {
+    // Same fork schedule as the unsharded pool: stream 2i for the session's
+    // decisions, 2i+1 for its client (which forks once more per shard).
+    Rng session_rng = rng_.fork(2 * i);
+    auto routed = std::make_unique<shard::ShardedKvClient>(sharded, router,
+                                                           rng_.fork(2 * i + 1));
+    const std::size_t pin =
+        cfg_.pin_sessions_to_shards ? i % router.shards() : kUnpinned;
+    sessions_.push_back(Session{nullptr, std::move(routed), std::move(session_rng), 0, pin});
   }
 }
 
@@ -31,7 +53,7 @@ bool ClosedLoopPool::session_done(const Session& s) const noexcept {
 }
 
 MixResult ClosedLoopPool::run() {
-  const TimePoint start = cluster_->sim().now();
+  const TimePoint start = sim_->now();
   horizon_ = start + cfg_.duration;
   remaining_ = cfg_.ops_per_client > 0 ? sessions_.size() : 0;
   latencies_ms_.reserve(1024);
@@ -42,11 +64,11 @@ MixResult ClosedLoopPool::run() {
     // Ops-bound: run until every session reaches its quota (horizon acts as
     // a stuck-run cap only). Completion callbacks drive progress, so polling
     // granularity does not affect the event schedule.
-    while (remaining_ > 0 && cluster_->sim().now() < horizon_) {
-      cluster_->sim().run_for(std::chrono::milliseconds(10));
+    while (remaining_ > 0 && sim_->now() < horizon_) {
+      sim_->run_for(std::chrono::milliseconds(10));
     }
   } else {
-    cluster_->sim().run_until(horizon_);
+    sim_->run_until(horizon_);
   }
 
   MixResult r;
@@ -54,7 +76,7 @@ MixResult ClosedLoopPool::run() {
   r.failed = failed_;
   r.gets = gets_;
   r.puts = puts_;
-  const double elapsed = to_sec(cluster_->sim().now() - start);
+  const double elapsed = to_sec(sim_->now() - start);
   if (elapsed > 0.0) {
     r.achieved_rps = static_cast<double>(completed_) / elapsed;
     r.get_rps = static_cast<double>(gets_) / elapsed;
@@ -70,7 +92,7 @@ MixResult ClosedLoopPool::run() {
 
 void ClosedLoopPool::issue(std::size_t session) {
   Session& s = sessions_[session];
-  if (session_done(s) || cluster_->sim().now() >= horizon_) return;
+  if (session_done(s) || sim_->now() >= horizon_) return;
 
   const bool is_get = s.rng.uniform() < cfg_.get_ratio;
   const std::uint64_t key_id = s.rng.uniform_index(cfg_.keyspace);
@@ -80,8 +102,19 @@ void ClosedLoopPool::issue(std::size_t session) {
   } else {
     key = "key-" + std::to_string(key_id);
   }
+  std::size_t shard = 0;
+  if (router_ != nullptr) {
+    if (s.pin != kUnpinned) {
+      // Pinned session: relocate the drawn key into the session's own shard
+      // (deterministic — same stem always yields the same shard-local key).
+      shard = s.pin;
+      key = router_->key_for_shard(shard, key);
+    } else {
+      shard = router_->shard_of(key);
+    }
+  }
 
-  auto done = [this, session, is_get](const kv::ClientResult& result) {
+  auto done = [this, session, is_get, shard](const kv::ClientResult& result) {
     Session& sess = sessions_[session];
     ++sess.ops;
     if (result.ok) {
@@ -91,23 +124,41 @@ void ClosedLoopPool::issue(std::size_t session) {
     } else {
       ++failed_;
     }
+    if (!per_shard_.empty()) {
+      ShardOps& ops = per_shard_[shard];
+      if (result.ok) {
+        ++ops.completed;
+        (is_get ? ops.gets : ops.puts)++;
+      } else {
+        ++ops.failed;
+      }
+    }
     if (session_done(sess)) {
       if (remaining_ > 0) --remaining_;
       return;
     }
     if (cfg_.think_time > Duration{0}) {
-      cluster_->sim().schedule_after(cfg_.think_time, [this, session] { issue(session); });
+      sim_->schedule_after(cfg_.think_time, [this, session] { issue(session); });
     } else {
       issue(session);
     }
   };
 
   if (is_get) {
-    s.client->get(std::move(key), std::move(done));
+    if (s.routed != nullptr) {
+      s.routed->get(std::move(key), std::move(done));
+    } else {
+      s.client->get(std::move(key), std::move(done));
+    }
   } else {
     const std::size_t span = cfg_.value_bytes_max - cfg_.value_bytes_min + 1;
     const std::size_t bytes = cfg_.value_bytes_min + s.rng.uniform_index(span);
-    s.client->put(std::move(key), std::string(bytes, 'v'), std::move(done));
+    std::string value(bytes, 'v');
+    if (s.routed != nullptr) {
+      s.routed->put(std::move(key), std::move(value), std::move(done));
+    } else {
+      s.client->put(std::move(key), std::move(value), std::move(done));
+    }
   }
 }
 

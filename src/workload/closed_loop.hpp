@@ -21,6 +21,8 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "kvstore/client.hpp"
+#include "shard/client.hpp"
+#include "shard/sharded_cluster.hpp"
 
 namespace dyna::wl {
 
@@ -42,6 +44,22 @@ struct MixConfig {
   /// the final store state independent of cross-session interleaving —
   /// the property the batched-vs-unbatched equivalence check pins.
   bool disjoint_keyspace = false;
+  /// Sharded pools only: pin session i to shard (i % shards) and draw its
+  /// keys inside that shard via ShardRouter::key_for_shard. Combined with
+  /// ops_per_client + disjoint_keyspace this makes each shard's final store
+  /// state independent of the other shards' timing — the isolation pin used
+  /// by the shard-leader-kill checks.
+  bool pin_sessions_to_shards = false;
+};
+
+/// Per-shard slice of a sharded pool run.
+struct ShardOps {
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+
+  friend bool operator==(const ShardOps&, const ShardOps&) = default;
 };
 
 struct MixResult {
@@ -62,6 +80,14 @@ class ClosedLoopPool {
  public:
   ClosedLoopPool(cluster::Cluster& cluster, MixConfig config, Rng rng);
 
+  /// Sharded variant: one client mix spans every consensus group. Each
+  /// session holds a ShardedKvClient and routes per-op by key through
+  /// `router` (or is pinned, see MixConfig::pin_sessions_to_shards). The
+  /// unsharded constructor above is untouched — its rng fork order and key
+  /// strings stay byte-identical to pre-sharding runs.
+  ClosedLoopPool(shard::ShardedCluster& sharded, shard::ShardRouter& router,
+                 MixConfig config, Rng rng);
+
   ClosedLoopPool(const ClosedLoopPool&) = delete;
   ClosedLoopPool& operator=(const ClosedLoopPool&) = delete;
 
@@ -69,17 +95,27 @@ class ClosedLoopPool {
   /// ops_per_client). Single-use.
   [[nodiscard]] MixResult run();
 
+  /// Per-shard op counts; empty unless the sharded constructor was used.
+  [[nodiscard]] const std::vector<ShardOps>& per_shard() const noexcept {
+    return per_shard_;
+  }
+
  private:
   struct Session {
-    std::unique_ptr<kv::KvClient> client;
+    std::unique_ptr<kv::KvClient> client;           ///< unsharded pools
+    std::unique_ptr<shard::ShardedKvClient> routed; ///< sharded pools
     Rng rng;
     std::uint64_t ops = 0;  ///< completions (ok or failed) so far
+    std::size_t pin = kUnpinned;
   };
+  static constexpr std::size_t kUnpinned = static_cast<std::size_t>(-1);
 
   void issue(std::size_t session);
   [[nodiscard]] bool session_done(const Session& s) const noexcept;
 
-  cluster::Cluster* cluster_;
+  cluster::Cluster* cluster_ = nullptr;           ///< unsharded pools
+  shard::ShardRouter* router_ = nullptr;          ///< sharded pools
+  sim::Simulator* sim_;                           ///< always set
   MixConfig cfg_;
   Rng rng_;
   std::vector<Session> sessions_;
@@ -90,6 +126,7 @@ class ClosedLoopPool {
   std::uint64_t failed_ = 0;
   std::uint64_t gets_ = 0;
   std::uint64_t puts_ = 0;
+  std::vector<ShardOps> per_shard_;  ///< sized only by the sharded ctor
 };
 
 }  // namespace dyna::wl

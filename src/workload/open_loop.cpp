@@ -20,9 +20,9 @@ std::vector<LevelResult> OpenLoopRamp::run() {
     completed_ = 0;
     failed_ = 0;
 
-    const TimePoint level_end = cluster_->sim().now() + cfg_.level_duration;
+    const TimePoint level_end = sim_->now() + cfg_.level_duration;
     arm_arrival(rate, level_end);
-    cluster_->sim().run_until(level_end);
+    sim_->run_until(level_end);
 
     LevelResult r;
     r.offered_rps = rate;
@@ -48,9 +48,9 @@ double OpenLoopRamp::peak_throughput(const std::vector<LevelResult>& levels) {
 
 void OpenLoopRamp::arm_arrival(double rate, TimePoint level_end) {
   const Duration gap = from_ms(1000.0 * rng_.exponential(rate));
-  const TimePoint when = cluster_->sim().now() + gap;
+  const TimePoint when = sim_->now() + gap;
   if (when >= level_end) return;  // level over; the next level re-arms
-  cluster_->sim().schedule_at(when, [this, rate, level_end] {
+  sim_->schedule_at(when, [this, rate, level_end] {
     fire_request();
     arm_arrival(rate, level_end);
   });
@@ -60,14 +60,19 @@ void OpenLoopRamp::fire_request() {
   const std::uint64_t key_id = rng_.uniform_index(cfg_.keyspace);
   std::string key = "key-" + std::to_string(key_id);
   std::string value(cfg_.value_bytes, 'x');
-  client_->put(std::move(key), std::move(value), [this](const kv::ClientResult& result) {
+  auto done = [this](const kv::ClientResult& result) {
     if (result.ok) {
       ++completed_;
       latencies_ms_.push_back(to_ms(result.latency));
     } else {
       ++failed_;
     }
-  });
+  };
+  if (routed_ != nullptr) {
+    routed_->put(std::move(key), std::move(value), std::move(done));
+  } else {
+    client_->put(std::move(key), std::move(value), std::move(done));
+  }
 }
 
 }  // namespace dyna::wl

@@ -12,6 +12,8 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "kvstore/client.hpp"
+#include "shard/client.hpp"
+#include "shard/sharded_cluster.hpp"
 
 namespace dyna::wl {
 
@@ -40,7 +42,12 @@ struct LevelResult {
 class OpenLoopRamp {
  public:
   OpenLoopRamp(cluster::Cluster& cluster, kv::KvClient& client, RampConfig config, Rng rng)
-      : cluster_(&cluster), client_(&client), cfg_(config), rng_(std::move(rng)) {}
+      : sim_(&cluster.sim()), client_(&client), cfg_(config), rng_(std::move(rng)) {}
+
+  /// Sharded variant: PUTs route by key across every consensus group.
+  OpenLoopRamp(shard::ShardedCluster& sharded, shard::ShardedKvClient& client,
+               RampConfig config, Rng rng)
+      : sim_(&sharded.sim()), routed_(&client), cfg_(config), rng_(std::move(rng)) {}
 
   /// Run the whole ramp; one result per offered-rate level.
   [[nodiscard]] std::vector<LevelResult> run();
@@ -52,8 +59,9 @@ class OpenLoopRamp {
   void arm_arrival(double rate, TimePoint level_end);
   void fire_request();
 
-  cluster::Cluster* cluster_;
-  kv::KvClient* client_;
+  sim::Simulator* sim_;
+  kv::KvClient* client_ = nullptr;            ///< unsharded
+  shard::ShardedKvClient* routed_ = nullptr;  ///< sharded
   RampConfig cfg_;
   Rng rng_;
 

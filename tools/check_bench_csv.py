@@ -56,7 +56,8 @@ EXACT_COLUMNS = {"scenario", "variant", "servers", "seed", "kill", "ok", "availa
                  "completed", "failed", "seeds", "elected", "elections", "expiries",
                  "mode", "phase", "ops", "log_entries", "snapshots", "replayed",
                  "max_cmds", "clients", "gets", "puts", "batches", "batched_cmds",
-                 "rounds", "reads"}
+                 "rounds", "reads", "shards", "shard", "shard_servers", "partition",
+                 "applied", "undisturbed"}
 
 
 def read_csv(path):
