@@ -2,7 +2,7 @@
 // count on the shared simulation substrate, plus a failover column showing
 // one shard's leader loss leaves every other shard untouched.
 //
-// Two phases, one process:
+// Three phases, one process:
 //
 //   scale    — shards x group-size grid. Each cell multiplexes k consensus
 //              groups onto ONE Simulator/Network (genuine shared-link
@@ -24,14 +24,38 @@
 //              byte-identical across the two runs — the bench aborts if a
 //              shard-leader kill perturbs any other shard's applied state.
 //
-// All emitted columns are simulated-time metrics — deterministic per seed,
-// so the committed reference CSV sits in the strict band of
-// tools/check_bench_csv.py.
+//   kilo     — the thousand-node frontier enabled by the block-diagonal
+//              link table: --kilo-shards x group-size grid up to 64x33 =
+//              2112 server nodes, closed-loop as above, one aggregate row
+//              per cell. Each row adds the memory and reset-cost evidence:
+//              link_table_bytes() sampled after elections but BEFORE client
+//              endpoints join (the steady tiled footprint — the same idle
+//              sampling point fig_scale pins; client sessions later add
+//              O(touched pairs) sparse entries on top), the dense (k*n)^2
+//              formula it replaces, executed events per simulated second
+//              over the measurement window, and the mean per-trial
+//              reset_for_trial cost measured on a standalone network of the
+//              cell's geometry. Two self-pins: every kilo cell must show
+//              dense/actual >= 8x (the layout's k-fold claim at k >= 8),
+//              and the reset cost ratio between the largest and smallest
+//              kilo cells must stay under 1/8th of the dense link-count
+//              ratio (reset is O(nodes + touched), not O(links) — the
+//              epoch-stamp contract).
+//
+// All emitted columns except reset_us and peak_rss_mib are simulated-time
+// or layout metrics — deterministic per seed, so the committed reference
+// CSV sits in the strict band of tools/check_bench_csv.py (the two wall
+//-clock columns sit in the machine band).
 //
 // Usage: fig_shard [--shards=1,2,4,8] [--sizes=5,15,33] [--clients=32]
 //                  [--measure-sec=3] [--round-us=2000] [--cmd-us=50]
-//                  [--ops=600] [--min-scaling=2.5] [--seed=42] [--csv=FILE]
+//                  [--ops=600] [--min-scaling=2.5] [--seed=42]
+//                  [--kilo-shards=8,16,32,64] [--kilo-measure-sec=2]
+//                  [--kilo-reset-reps=256] [--csv=FILE]
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -58,10 +82,14 @@ struct BenchParams {
   Duration per_command{};
   std::uint64_t ops = 600;
   std::uint64_t seed = 42;
+  std::vector<std::size_t> kilo_shard_counts{8, 16, 32, 64};
+  int kilo_measure_sec = 2;
+  std::size_t kilo_reset_reps = 256;
 };
 
 /// One CSV row. `shard == -1` marks a cell-aggregate row; `undisturbed` is
-/// -1 outside the failover phase.
+/// -1 outside the failover phase; the trailing layout/cost columns are -1
+/// outside the kilo phase.
 struct Row {
   std::string phase;
   std::size_t shards = 0;
@@ -72,7 +100,27 @@ struct Row {
   double rps = 0.0;
   std::uint64_t applied = 0;
   int undisturbed = -1;
+  long long link_table_bytes = -1;        ///< block-diagonal table, post-election
+  long long dense_link_table_bytes = -1;  ///< the (k*n)^2 formula it replaces
+  double events_per_sim_sec = -1.0;       ///< over the measurement window
+  double reset_us = -1.0;                 ///< mean per-trial reset (standalone net)
+  double peak_rss_mib = -1.0;             ///< process VmHWM after the cell
 };
+
+/// Peak resident set size of this process in MiB (Linux VmHWM), or -1 where
+/// /proc is unavailable. Monotone over the process lifetime — the kilo grid
+/// runs ascending, so each row reports the high-water mark through its own
+/// (largest-so-far) configuration.
+double peak_rss_mib() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtod(line.c_str() + 6, nullptr) / 1024.0;
+    }
+  }
+  return -1.0;
+}
 
 cluster::ClusterConfig group_config(const BenchParams& p, std::size_t servers,
                                     bool model_cpu) {
@@ -208,6 +256,85 @@ FailoverRun run_failover(const BenchParams& p, std::size_t shards, std::size_t s
   return run;
 }
 
+// ---- Phase 3: kilo-node frontier ---------------------------------------------------
+
+/// Mean per-trial reset_for_trial cost (µs) on a standalone network of the
+/// cell's block-diagonal geometry. Each iteration first touches one in-tile
+/// link per group plus one cross-group pair (a realistic partition-injection
+/// footprint), so the lazy epoch path has live state to retire; the reset
+/// itself is O(nodes + touched cross-pairs), never O(links) — which is what
+/// the cross-cell ratio pin in main() checks.
+double measure_reset_us(const BenchParams& p, std::size_t shards, std::size_t servers) {
+  sim::Simulator sim;
+  net::Network net(sim, Rng(p.seed));
+  net.configure_groups(servers, shards);
+  const std::size_t total = shards * servers;
+  net.add_nodes(total);
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (std::size_t rep = 0; rep < p.kilo_reset_reps; ++rep) {
+    for (std::size_t g = 0; g < shards; ++g) {
+      net.set_blocked(static_cast<NodeId>(g * servers),
+                      static_cast<NodeId>(g * servers + 1), true);
+    }
+    if (shards > 1) net.set_blocked(0, static_cast<NodeId>(servers), true);
+    net.reset_for_trial(Rng(p.seed + rep), total);
+  }
+  const double wall_us = std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
+  return wall_us / static_cast<double>(p.kilo_reset_reps);
+}
+
+/// One kilo cell: aggregate row with the layout/cost evidence columns.
+Row run_kilo_cell(const BenchParams& p, std::size_t shards, std::size_t servers) {
+  shard::ShardedConfig cfg;
+  cfg.shards = shards;
+  cfg.group = group_config(p, servers, /*model_cpu=*/true);
+  shard::ShardedCluster sc(cfg);
+  if (!sc.await_all_leaders(60s)) {
+    std::fprintf(stderr, "FATAL: kilo %zux%zu: not every shard elected a leader\n",
+                 shards, servers);
+    std::exit(1);
+  }
+
+  Row row;
+  row.phase = "kilo";
+  row.shards = shards;
+  row.servers = servers;
+  // Memory sample point: after elections, before the pool adds client
+  // endpoints — the steady tiled footprint (matches fig_scale's idle
+  // sampling; client sessions add O(touched pairs) sparse entries later).
+  row.link_table_bytes = static_cast<long long>(sc.network().link_table_bytes());
+  row.dense_link_table_bytes =
+      static_cast<long long>(net::Network::dense_link_table_bytes(sc.total_servers()));
+
+  sc.sim().run_for(1s);  // settle heartbeats before measuring
+
+  shard::ShardRouter router = sc.make_router();
+  wl::MixConfig mix;
+  mix.clients = p.clients;
+  mix.get_ratio = 0.0;
+  mix.keyspace = 1000;
+  mix.value_bytes_min = 16;
+  mix.value_bytes_max = 64;
+  mix.duration = std::chrono::seconds(p.kilo_measure_sec);
+  wl::ClosedLoopPool pool(sc, router, mix, sc.fork_rng(0xF165));
+  const std::size_t events_before = sc.sim().executed();
+  const wl::MixResult result = pool.run();
+  row.events_per_sim_sec =
+      static_cast<double>(sc.sim().executed() - events_before) /
+      static_cast<double>(p.kilo_measure_sec);
+
+  row.completed = result.completed;
+  row.failed = result.failed;
+  row.rps = result.achieved_rps;
+  for (std::size_t g = 0; g < shards; ++g) row.applied += leader_applied(sc.shard(g));
+
+  row.reset_us = measure_reset_us(p, shards, servers);
+  row.peak_rss_mib = peak_rss_mib();
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -222,6 +349,11 @@ int main(int argc, char** argv) {
   p.ops = static_cast<std::uint64_t>(cli.get_or("ops", std::int64_t{600}));
   p.seed = static_cast<std::uint64_t>(cli.get_or("seed", std::int64_t{42}));
   const double min_scaling = cli.get_or("min-scaling", 2.5);
+  p.kilo_shard_counts = cli.get_sizes("kilo-shards", p.kilo_shard_counts);
+  p.kilo_measure_sec =
+      static_cast<int>(cli.scaled(cli.get_or("kilo-measure-sec", std::int64_t{2})));
+  p.kilo_reset_reps =
+      static_cast<std::size_t>(cli.get_or("kilo-reset-reps", std::int64_t{256}));
 
   metrics::banner("Sharded multi-raft: throughput vs shard count, isolation under faults");
   std::printf("%zu clients, %d sim-s per cell; round=%lldus cmd=%lldus\n\n", p.clients,
@@ -285,10 +417,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- Phase 3: kilo-node frontier -----------------------------------------------
+  // Ascending total-node order: the last cell is the largest, so the reset
+  // ratio pin below compares the grid's extremes.
+  std::vector<Row> kilo_rows;
+  for (const std::size_t servers : p.sizes) {
+    for (const std::size_t shards : p.kilo_shard_counts) {
+      kilo_rows.push_back(run_kilo_cell(p, shards, servers));
+    }
+  }
+  rows.insert(rows.end(), kilo_rows.begin(), kilo_rows.end());
+
   // ---- Report --------------------------------------------------------------------
   metrics::Table table({"phase", "shards", "n/group", "shard", "req/s", "completed",
                         "failed", "applied", "undisturbed"});
   for (const Row& r : rows) {
+    if (r.phase == "kilo") continue;
     table.row({r.phase, std::to_string(r.shards), std::to_string(r.servers),
                r.shard < 0 ? "all" : std::to_string(r.shard),
                metrics::Table::num(r.rps, 0), std::to_string(r.completed),
@@ -296,6 +440,20 @@ int main(int argc, char** argv) {
                r.undisturbed < 0 ? "-" : std::to_string(r.undisturbed)});
   }
   table.print();
+
+  metrics::Table kilo_table({"shards", "n/group", "nodes", "req/s", "events/sim-s",
+                             "link table", "dense would-be", "reset(us)", "peak RSS"});
+  for (const Row& r : kilo_rows) {
+    kilo_table.row({std::to_string(r.shards), std::to_string(r.servers),
+                    std::to_string(r.shards * r.servers), metrics::Table::num(r.rps, 0),
+                    metrics::Table::num(r.events_per_sim_sec, 0),
+                    std::to_string(r.link_table_bytes) + " B",
+                    std::to_string(r.dense_link_table_bytes) + " B",
+                    metrics::Table::num(r.reset_us),
+                    metrics::Table::num(r.peak_rss_mib) + " MiB"});
+  }
+  std::printf("\nkilo-node frontier (block-diagonal link table):\n");
+  kilo_table.print();
 
   const double scaling = rps_1 > 0.0 ? rps_4 / rps_1 : 0.0;
   std::printf("\naggregate closed-loop at n=%zu: %.0f req/s (1 shard) vs %.0f req/s "
@@ -319,22 +477,72 @@ int main(int argc, char** argv) {
                          "applied state — shards are not isolated\n");
     ok = false;
   }
+
+  // Kilo pin 1 (memory): every kilo cell runs >= 8 shards, so the
+  // block-diagonal table must undercut the dense formula by >= 8x (the
+  // layout's k-fold claim; at the 64-shard cells the ratio is ~64x).
+  for (const Row& r : kilo_rows) {
+    const double ratio = r.link_table_bytes > 0
+                             ? static_cast<double>(r.dense_link_table_bytes) /
+                                   static_cast<double>(r.link_table_bytes)
+                             : 0.0;
+    if (ratio < 8.0) {
+      std::fprintf(stderr,
+                   "FATAL: kilo %zux%zu link table %lld B is only %.1fx under the "
+                   "dense %lld B (need >= 8x)\n",
+                   r.shards, r.servers, r.link_table_bytes, ratio,
+                   r.dense_link_table_bytes);
+      ok = false;
+    }
+  }
+  // Kilo pin 2 (reset cost): between the grid's smallest and largest cells
+  // the dense link count grows quadratically; the epoch-stamped reset must
+  // grow strictly sublinearly in it — pinned at 1/8th of the dense ratio,
+  // generous enough for runner noise, far below what an O(links) walk
+  // (or even an O(tile-storage) walk) could satisfy.
+  if (kilo_rows.size() >= 2) {
+    const auto extremes = std::minmax_element(
+        kilo_rows.begin(), kilo_rows.end(), [](const Row& a, const Row& b) {
+          return a.shards * a.servers < b.shards * b.servers;
+        });
+    const Row& small = *extremes.first;
+    const Row& large = *extremes.second;
+    const double n_small = static_cast<double>(small.shards * small.servers);
+    const double n_large = static_cast<double>(large.shards * large.servers);
+    const double dense_ratio = (n_large * n_large) / (n_small * n_small);
+    const double measured = small.reset_us > 0.0 ? large.reset_us / small.reset_us : 0.0;
+    std::printf("\nreset cost: %.2fus at %.0f nodes -> %.2fus at %.0f nodes "
+                "(%.1fx; dense link ratio %.0fx, bound %.0fx)\n",
+                small.reset_us, n_small, large.reset_us, n_large, measured,
+                dense_ratio, dense_ratio / 8.0);
+    if (measured <= 0.0 || measured > dense_ratio / 8.0) {
+      std::fprintf(stderr,
+                   "FATAL: per-trial reset cost scaled %.1fx from %.0f to %.0f nodes "
+                   "(bound %.1fx) — reset is not sublinear in link count\n",
+                   measured, n_small, n_large, dense_ratio / 8.0);
+      ok = false;
+    }
+  }
   if (!ok) return 1;
 
   if (const auto csv_path = cli.get("csv")) {
     CsvWriter csv(*csv_path,
                   {"scenario", "phase", "partition", "shards", "servers", "shard",
                    "seed", "clients", "completed", "failed", "rps", "applied",
-                   "undisturbed"});
+                   "undisturbed", "link_table_bytes", "dense_link_table_bytes",
+                   "events_per_sim_sec", "reset_us", "peak_rss_mib"});
     for (const Row& r : rows) {
       const std::size_t clients =
-          r.phase == "scale" ? p.clients : 2 * fo_shards;
+          r.phase == "scale" || r.phase == "kilo" ? p.clients : 2 * fo_shards;
       csv.row({"fig_shard", r.phase, "hash", std::to_string(r.shards),
                std::to_string(r.servers), std::to_string(r.shard),
                std::to_string(p.seed), std::to_string(clients),
                std::to_string(r.completed), std::to_string(r.failed),
                CsvWriter::cell(r.rps), std::to_string(r.applied),
-               std::to_string(r.undisturbed)});
+               std::to_string(r.undisturbed), std::to_string(r.link_table_bytes),
+               std::to_string(r.dense_link_table_bytes),
+               CsvWriter::cell(r.events_per_sim_sec), CsvWriter::cell(r.reset_us),
+               CsvWriter::cell(r.peak_rss_mib)});
     }
     std::printf("wrote %s\n", csv_path->c_str());
   }

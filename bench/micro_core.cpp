@@ -202,6 +202,64 @@ void BM_NetworkSendReliable(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkSendReliable);
 
+void BM_LinkLookup(benchmark::State& state) {
+  // Per-send link resolution: the one table access on the send hot path.
+  // Arg(0) selects the layout/pair class: 0 = dense single tile (classic
+  // unsharded network), 1 = block-diagonal in-group (tile hit), 2 =
+  // block-diagonal cross-group (sparse side table, steady state after the
+  // pair's first touch promoted it). The three must stay within the same
+  // order of magnitude — the block-diagonal layout may not tax unsharded
+  // call sites, and a promoted cross pair may not fall off a cliff.
+  constexpr std::size_t kGroupSize = 33;
+  constexpr std::size_t kGroups = 8;
+  const int mode = static_cast<int>(state.range(0));
+  sim::Simulator sim;
+  net::Network net(sim, Rng(7));
+  if (mode != 0) net.configure_groups(kGroupSize, kGroups);
+  net.add_nodes(kGroupSize * kGroups);
+  NodeId from = 0;
+  NodeId to = 1;
+  if (mode == 2) {
+    to = static_cast<NodeId>(kGroupSize);  // next group over
+    net.set_blocked(from, to, false);      // promote into the sparse table
+  }
+  bool acc = false;
+  for (auto _ : state) {
+    acc ^= net.link_blocked(from, to);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetLabel(mode == 0 ? "dense" : mode == 1 ? "tile" : "cross");
+}
+BENCHMARK(BM_LinkLookup)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_NetworkResetForTrial(benchmark::State& state) {
+  // Per-trial substrate reset at sweep scale: groups of 33 at 5/32/64
+  // groups = 165/1056/2112 total nodes. The epoch-stamped lazy reset is
+  // O(nodes + touched cross-pairs) — doubling the node count must roughly
+  // double this, never quadruple it (the old dense walk cleared all
+  // (k*n)^2 links). Each iteration touches one in-tile link per group plus
+  // one cross pair first, so the stamp path has live state to retire.
+  constexpr std::size_t kGroupSize = 33;
+  const auto groups = static_cast<std::size_t>(state.range(0));
+  const std::size_t total = kGroupSize * groups;
+  sim::Simulator sim;
+  net::Network net(sim, Rng(7));
+  net.configure_groups(kGroupSize, groups);
+  net.add_nodes(total);
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      net.set_blocked(static_cast<NodeId>(g * kGroupSize),
+                      static_cast<NodeId>(g * kGroupSize + 1), true);
+    }
+    net.set_blocked(0, static_cast<NodeId>(kGroupSize), true);
+    net.reset_for_trial(Rng(++trial), total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_NetworkResetForTrial)->Arg(5)->Arg(32)->Arg(64);
+
 void BM_ClusterHeartbeatSecond(benchmark::State& state) {
   // One simulated second of idle n-server cluster traffic (heartbeats,
   // responses, timers) per iteration. The n=65 rows are the scaling rows:

@@ -42,12 +42,13 @@ Cluster::Cluster(ClusterConfig config) : cfg_(std::move(config)) {
   nodes_.resize(cfg_.servers);
   service_.resize(cfg_.servers);
 
+  // Owned substrate: ids 0..servers-1. Shared substrate: the owner
+  // constructs groups in node_base order, so the batch lands exactly on this
+  // group's slice of the id space. One add_nodes() call = one link-table
+  // growth for the whole group instead of an O(n^2) re-stride per server.
+  const NodeId first_id = net_->add_nodes(cfg_.servers);
+  DYNA_ASSERT(first_id == cfg_.node_base);
   for (std::size_t i = 0; i < cfg_.servers; ++i) {
-    // Owned substrate: ids 0..servers-1. Shared substrate: the owner
-    // constructs groups in node_base order, so add_node() lands exactly on
-    // this group's slice of the id space.
-    const NodeId id = net_->add_node();
-    DYNA_ASSERT(id == cfg_.node_base + static_cast<NodeId>(i));
     if (cfg_.durable_log) {
       storages_[i] = std::make_shared<raft::MemoryStorage>();
     } else {

@@ -42,10 +42,66 @@ void Network::roll_stall(StallWindow& w) {
   w.end = w.start + from_ms(dur_ms);
 }
 
+void Network::configure_groups(std::size_t group_size, std::size_t groups) {
+  DYNA_EXPECTS(nodes_.empty());
+  DYNA_EXPECTS(group_size >= 1 && groups >= 1);
+  group_size_ = group_size;
+  group_count_ = groups;
+  // One group_size^2 tile per group, allocated up front (the geometry is
+  // fixed); the stamp-based lazy reset means we never walk this again.
+  links_.clear();
+  links_.resize(groups * group_size * group_size);
+  cross_.clear();
+}
+
+NodeId Network::add_nodes(std::size_t count) {
+  DYNA_EXPECTS(count >= 1);
+  const std::size_t old_count = nodes_.size();
+  const auto first = static_cast<NodeId>(old_count);
+  nodes_.resize(old_count + count);
+  // Grouped mode: the tiles already exist and ids beyond the tiled region
+  // (client endpoints) take the sparse cross-pair path — no table growth.
+  if (group_size_ == 0) grow_dense(old_count);
+  return first;
+}
+
+void Network::grow_dense(std::size_t old_count) {
+  const std::size_t n = nodes_.size();
+  if (n <= stride_) return;  // still fits the current stride
+  // Batched construction from empty allocates the exact final stride (the
+  // committed link_table_bytes references are n^2 * sizeof(Link)); from a
+  // live table the stride doubles so k incremental add_node calls re-stride
+  // O(log k) times instead of k.
+  const std::size_t new_stride = old_count == 0 ? n : std::max(n, stride_ * 2);
+  std::vector<Link> grown(new_stride * new_stride);
+  for (std::size_t from = 0; from < old_count; ++from) {
+    for (std::size_t to = 0; to < old_count; ++to) {
+      grown[from * new_stride + to] = std::move(links_[from * stride_ + to]);
+    }
+  }
+  links_ = std::move(grown);
+  stride_ = new_stride;
+}
+
+void Network::hard_reset_links() {
+  for (Link& l : links_) {
+    l.override_schedule.reset();
+    l.reliable_last_delivery = kSimEpoch;
+    l.stream = StreamState{};
+    l.blocked = false;
+    l.epoch = trial_epoch_;
+  }
+}
+
 void Network::reset_for_trial(Rng rng, std::size_t node_count) {
   DYNA_EXPECTS(node_count >= 1);
+  // A grouped table's geometry is fixed for the Network's lifetime: handlers
+  // installed on it capture the id->group stride, so a geometry change must
+  // rebuild the Network (shard::ShardedCluster::reset does exactly that).
+  // Resetting back to the tiled region drops client endpoints, as in dense
+  // mode.
+  DYNA_EXPECTS(group_size_ == 0 || node_count == group_count_ * group_size_);
   rng_ = std::move(rng);
-  const bool resized = node_count != nodes_.size();
   nodes_.resize(node_count);
   for (NodeState& n : nodes_) {
     n.paused = false;
@@ -53,34 +109,28 @@ void Network::reset_for_trial(Rng rng, std::size_t node_count) {
     n.traffic = NodeTraffic{};
     n.stall = StallWindow{};
   }
-  if (resized) {
-    // Different cluster size: re-stride from scratch (Link is move-only, so
-    // a fresh dense table is simpler than salvaging the old stride).
+  if (group_size_ == 0 && node_count > stride_) {
+    // Bigger cluster than the table has ever held: re-stride from scratch
+    // (Link is move-only, so a fresh dense table is simpler than salvaging
+    // the old stride).
     links_.clear();
     links_.resize(node_count * node_count);
-  } else {
-    for (Link& l : links_) {
-      l.override_schedule.reset();
-      l.reliable_last_delivery = kSimEpoch;
-      l.stream = StreamState{};
-      l.blocked = false;
-    }
+    stride_ = node_count;
+  }
+  // Lazy link reset: bump the trial epoch instead of walking the table; a
+  // Link with a stale stamp rewinds on first touch (refresh()). Touched
+  // cross-tile pairs are simply dropped — an absent entry *is* the
+  // freshly-built state. On 32-bit wrap the stamps from the previous epoch
+  // period could alias new epochs, so that one reset in 2^32 walks the
+  // table eagerly.
+  cross_.clear();
+  if (++trial_epoch_ == 0) {
+    trial_epoch_ = 1;
+    hard_reset_links();
   }
   // In-flight payloads whose delivery events died with the simulator reset.
   arena_.clear();
   arena_free_.clear();
-}
-
-void Network::grow_links() {
-  const std::size_t n = nodes_.size();
-  const std::size_t old_n = n - 1;
-  std::vector<Link> grown(n * n);
-  for (std::size_t from = 0; from < old_n; ++from) {
-    for (std::size_t to = 0; to < old_n; ++to) {
-      grown[from * n + to] = std::move(links_[from * old_n + to]);
-    }
-  }
-  links_ = std::move(grown);
 }
 
 std::uint32_t Network::arena_acquire(Message&& payload) {

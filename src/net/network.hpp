@@ -19,14 +19,35 @@
 // values (no std::any, no RTTI), in-flight messages live in a recycled arena
 // so a delivery event is a sub-48-byte closure with no allocation, and all
 // per-directed-link state (schedule override, FIFO watermark, TCP turbulence,
-// partition flag) sits in one dense n*n table — one indexed load per send
-// where the seed engine did four red-black-tree lookups.
+// partition flag) sits in an indexed Link table — one load per send where the
+// seed engine did four red-black-tree lookups.
+//
+// Link-table layout (kilo-node geometries): by default the table is one
+// dense n*n tile covering every node — the classic single-cluster shape.
+// A sharded deployment calls configure_groups(g, k) before adding nodes,
+// which switches the table to a *block-diagonal* layout: one g*g tile per
+// group for the k*g nodes of the tiled region, O(k*g^2) memory instead of
+// O((k*g)^2). Pairs outside a tile (cross-group servers, client endpoints
+// added after the tiled region) stay *routable but stateless*: they share
+// the network's jitter rng and the default ConditionSchedule, and reads see
+// one immutable default Link. The first state-bearing touch (a send's FIFO
+// watermark or TCP stream update, set_blocked, set_link_schedule) promotes
+// the pair into a sparse side table with full per-pair state — so semantics
+// are exactly those of the dense table, pay-per-touched-pair.
+//
+// Trial reset (sweep substrate): every Link carries a trial-epoch stamp.
+// reset_for_trial bumps the network's epoch instead of walking the table;
+// a link whose stamp is stale is rewound to its freshly-built state on
+// first touch. Reset cost is O(nodes + touched cross-pairs), independent of
+// the tile storage size — what keeps reset-in-place sweeps alive at
+// thousand-node geometries.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -108,14 +129,31 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
+  /// Switch the link table to the block-diagonal layout: `groups` tiles of
+  /// `group_size` x `group_size`, covering node ids [0, groups*group_size).
+  /// Must be called before any node is added; the geometry is fixed for the
+  /// network's lifetime (a geometry change rebuilds the Network — installed
+  /// handlers capture the id→group mapping anyway, see shard::ShardedCluster).
+  /// Nodes added beyond the tiled region (client endpoints) take the sparse
+  /// cross-pair path. Never calling this keeps the classic dense layout.
+  void configure_groups(std::size_t group_size, std::size_t groups);
+
+  [[nodiscard]] std::size_t group_size() const noexcept { return group_size_; }
+  [[nodiscard]] std::size_t groups() const noexcept { return group_count_; }
+
   /// Register a node; returns its id. Handlers may be set/replaced later
   /// (nodes are constructed after the network exists).
   NodeId add_node(Handler handler = nullptr) {
-    nodes_.push_back(NodeState{});
+    const NodeId id = add_nodes(1);
     nodes_.back().handler = std::move(handler);
-    grow_links();
-    return static_cast<NodeId>(nodes_.size() - 1);
+    return id;
   }
+
+  /// Register `count` nodes at once; returns the first id (ids are
+  /// contiguous). One table growth for the whole batch — cluster
+  /// construction uses this so the dense table is allocated exactly once at
+  /// its final stride instead of re-striding per server.
+  NodeId add_nodes(std::size_t count);
 
   void set_handler(NodeId node, Handler handler) {
     state(node).handler = std::move(handler);
@@ -128,15 +166,20 @@ class Network {
   [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
 
   /// Return to the freshly-built state for a new trial while keeping the big
-  /// allocations warm: the dense n*n link table, the in-flight message arena
-  /// and the per-node state vectors stay allocated; the RNG is replaced and
-  /// all per-trial state (traffic counters, stall windows, pause/parked
-  /// queues, link overrides, FIFO watermarks, TCP stream state, partition
-  /// flags) is cleared. Node handlers are configuration, not trial state, and
+  /// allocations warm: the link table, the in-flight message arena and the
+  /// per-node state vectors stay allocated; the RNG is replaced and all
+  /// per-trial state (traffic counters, stall windows, pause/parked queues,
+  /// link overrides, FIFO watermarks, TCP stream state, partition flags) is
+  /// logically cleared. Link state is cleared *lazily*: the trial epoch is
+  /// bumped and each Link rewinds on its first touch of the new trial, so
+  /// the reset itself is O(nodes + touched cross-pairs) — it never walks the
+  /// tile storage. Node handlers are configuration, not trial state, and
   /// survive for the node indices that survive; `node_count` resizes the
-  /// tables when the next trial needs a different cluster size. The reset
+  /// tables when the next trial needs a different cluster size (in grouped
+  /// mode the tiled geometry is fixed, so `node_count` must equal
+  /// groups*group_size — a geometry change rebuilds the Network). The reset
   /// contract (fresh-construction equivalence) is pinned by
-  /// tests/test_trial_reuse.cpp.
+  /// tests/test_trial_reuse.cpp and tests/test_net_equivalence.cpp.
   void reset_for_trial(Rng rng, std::size_t node_count);
 
   /// Same, additionally replacing the transport config (sweeps whose cells
@@ -153,7 +196,6 @@ class Network {
 
   /// Directed-link override. Use both orders for a symmetric path.
   void set_link_schedule(NodeId from, NodeId to, ConditionSchedule schedule) {
-    DYNA_EXPECTS(valid(from) && valid(to));
     link(from, to).override_schedule =
         std::make_unique<ConditionSchedule>(std::move(schedule));
   }
@@ -184,8 +226,11 @@ class Network {
   /// silently dropped for Datagram and for Reliable alike (a partition is
   /// indistinguishable from an endless outage, which TCP also cannot cross).
   void set_blocked(NodeId from, NodeId to, bool blocked) {
-    DYNA_EXPECTS(valid(from) && valid(to));
     link(from, to).blocked = blocked;
+  }
+
+  [[nodiscard]] bool link_blocked(NodeId from, NodeId to) const {
+    return link(from, to).blocked;
   }
 
   /// Partition the node from everyone, both directions.
@@ -201,14 +246,29 @@ class Network {
 
   [[nodiscard]] const NodeTraffic& traffic(NodeId node) const { return state(node).traffic; }
 
-  /// Resident size of the dense n*n link table (the scaling study's memory
-  /// curve — see bench/fig_scale.cpp). Deterministic for a given n and ABI.
+  /// Resident size of the link table (the scaling study's memory curve —
+  /// see bench/fig_scale.cpp and bench/fig_shard.cpp): tile storage plus an
+  /// estimate of the sparse cross-pair entries (hash node = key + Link + two
+  /// pointers of bucket overhead). Deterministic for a given layout and ABI.
   [[nodiscard]] std::size_t link_table_bytes() const noexcept {
-    return links_.capacity() * sizeof(Link);
+    return links_.capacity() * sizeof(Link) + cross_.size() * kCrossEntryBytes;
   }
+
+  /// What a dense table over `nodes` endpoints would cost — the comparison
+  /// baseline for the block-diagonal layout's memory claim.
+  [[nodiscard]] static std::size_t dense_link_table_bytes(std::size_t nodes) noexcept {
+    return nodes * nodes * sizeof(Link);
+  }
+
+  /// Touched cross-tile pairs currently materialized in the sparse table.
+  [[nodiscard]] std::size_t cross_link_count() const noexcept { return cross_.size(); }
 
   /// Remaining stall time if `node` is stalled at `t` (lazy renewal process).
   [[nodiscard]] Duration stall_penalty(NodeId node, TimePoint t);
+
+  /// Test hook: force the trial-epoch counter (exercises the wrap path of
+  /// the epoch-stamped lazy reset without 2^32 real trials).
+  void set_trial_epoch_for_test(std::uint32_t epoch) noexcept { trial_epoch_ = epoch; }
 
  private:
   struct StallWindow {
@@ -236,13 +296,25 @@ class Network {
   };
 
   /// Everything the transport tracks about one directed (from,to) pair.
-  /// Lives in a dense node_count*node_count table, indexed from*n+to.
+  /// Lives in a tile of the block-diagonal table (dense mode: the single
+  /// tile), or in the sparse cross-pair table once touched. `epoch` is the
+  /// lazy-reset stamp: a Link whose epoch differs from the network's
+  /// trial_epoch_ is logically in its freshly-built state and is physically
+  /// rewound on first access (see refresh()). The stamp lives in what used
+  /// to be padding — sizeof(Link) is unchanged at 48 bytes on LP64, which
+  /// the committed link_table_bytes reference columns depend on.
   struct Link {
     std::unique_ptr<ConditionSchedule> override_schedule;  ///< null => default
     TimePoint reliable_last_delivery = kSimEpoch;          ///< FIFO watermark
     StreamState stream;
+    std::uint32_t epoch = 0;  ///< trial stamp; != trial_epoch_ => stale
     bool blocked = false;
   };
+
+  /// Sparse cross-pair hash node estimate for link_table_bytes(): key,
+  /// value, forward pointer + one bucket slot amortized.
+  static constexpr std::size_t kCrossEntryBytes =
+      sizeof(std::uint64_t) + sizeof(Link) + 2 * sizeof(void*);
 
   [[nodiscard]] bool valid(NodeId n) const noexcept {
     return n >= 0 && static_cast<std::size_t>(n) < nodes_.size();
@@ -258,21 +330,69 @@ class Network {
     return nodes_[static_cast<std::size_t>(n)];
   }
 
+  [[nodiscard]] static std::uint64_t cross_key(NodeId from, NodeId to) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+           static_cast<std::uint32_t>(to);
+  }
+
+  /// Rewind a stale Link to its freshly-built state (the lazy half of
+  /// reset_for_trial). A stale stamp can never alias live state: stamps only
+  /// ever equal a value trial_epoch_ has held, trial_epoch_ is monotone
+  /// within its 32-bit period, and the wrap path below hard-clears every
+  /// stamp before the counter re-enters old values.
+  Link& refresh(Link& l) const noexcept {
+    if (l.epoch != trial_epoch_) {
+      l.override_schedule.reset();
+      l.reliable_last_delivery = kSimEpoch;
+      l.stream = StreamState{};
+      l.blocked = false;
+      l.epoch = trial_epoch_;
+    }
+    return l;
+  }
+
+  /// Storage cell for (from,to) if the pair lives in a tile: the dense
+  /// single tile, or the group tile when both endpoints share a group.
+  /// nullptr => cross-tile pair (sparse path).
+  [[nodiscard]] Link* tile_slot(NodeId from, NodeId to) const noexcept {
+    const auto f = static_cast<std::size_t>(from);
+    const auto t = static_cast<std::size_t>(to);
+    if (group_size_ == 0) return &links_[f * stride_ + t];
+    const std::size_t g = f / group_size_;
+    if (g >= group_count_ || g != t / group_size_) return nullptr;
+    const std::size_t base = g * group_size_;
+    return &links_[base * group_size_ + (f - base) * group_size_ + (t - base)];
+  }
+
+  /// The (from,to) Link with its per-trial state live (refreshed if stale).
+  /// Cross-tile pairs are promoted into the sparse table on this path —
+  /// mutating accessors and the send hot path need a real cell.
   Link& link(NodeId from, NodeId to) {
     DYNA_EXPECTS(valid(from) && valid(to));
-    return links_[static_cast<std::size_t>(from) * nodes_.size() +
-                  static_cast<std::size_t>(to)];
+    if (Link* l = tile_slot(from, to)) return refresh(*l);
+    return refresh(cross_[cross_key(from, to)]);
   }
 
+  /// Const read: an untouched cross-tile pair stays stateless and reads the
+  /// shared immutable default Link (default schedule, unblocked, no stream).
+  /// Refreshing a stale tile/sparse cell is logically const — it
+  /// materializes the state reset_for_trial already promised.
   [[nodiscard]] const Link& link(NodeId from, NodeId to) const {
     DYNA_EXPECTS(valid(from) && valid(to));
-    return links_[static_cast<std::size_t>(from) * nodes_.size() +
-                  static_cast<std::size_t>(to)];
+    if (Link* l = tile_slot(from, to)) return refresh(*l);
+    const auto it = cross_.find(cross_key(from, to));
+    if (it == cross_.end()) return default_link_;
+    return refresh(it->second);
   }
 
-  /// Re-stride the dense link table after add_node (rare, never mid-flight
-  /// on the hot path). Existing per-pair state is preserved.
-  void grow_links();
+  /// Grow the dense tile after add_nodes. Batched construction allocates
+  /// the exact final stride in one step; incremental add_node doubles the
+  /// stride so k single adds re-stride O(log k) times, not k times.
+  void grow_dense(std::size_t old_count);
+
+  /// Eager fallback for the epoch wrap: physically rewind every tile cell
+  /// so stale stamps from the previous 32-bit period cannot alias.
+  void hard_reset_links();
 
   /// The schedule governing one link: its override if set, else the default.
   [[nodiscard]] const ConditionSchedule& schedule_for(const Link& l) const {
@@ -303,7 +423,23 @@ class Network {
   Config config_;
   ConditionSchedule default_schedule_{};
   std::vector<NodeState> nodes_;
-  std::vector<Link> links_;  ///< dense n*n, indexed from*n+to
+
+  // ---- Link table ----
+  /// Dense mode (group_size_ == 0): one stride_*stride_ tile, indexed
+  /// from*stride_+to, stride_ >= node_count. Grouped mode: group_count_
+  /// tiles of group_size_^2, tile g at offset g*group_size_^2.
+  /// `mutable`: refresh() rewinds lazily-reset cells through const reads —
+  /// observable state is unchanged (that is the reset contract).
+  mutable std::vector<Link> links_;
+  /// Touched cross-tile pairs (grouped mode only), keyed (from<<32)|to.
+  mutable std::unordered_map<std::uint64_t, Link> cross_;
+  /// Shared stateless entry read by untouched cross-tile pairs. Never
+  /// mutated, never stamped — it *is* the freshly-built state.
+  Link default_link_;
+  std::size_t group_size_ = 0;   ///< 0 => dense single-tile mode
+  std::size_t group_count_ = 1;
+  std::size_t stride_ = 0;       ///< dense-mode row stride
+  std::uint32_t trial_epoch_ = 1;
 
   /// In-flight message arena: a delivery event captures only a slot index,
   /// so scheduling it never allocates (the closure fits InlineFn's buffer)

@@ -26,6 +26,12 @@ void ShardedCluster::build_network() {
   // group — link-level randomness couples the groups by construction.
   Rng master(cfg_.group.seed);
   net_ = std::make_unique<net::Network>(sim_, master.fork(1), cfg_.group.transport);
+  // Block-diagonal link table: one servers^2 tile per shard instead of a
+  // dense (shards*servers)^2 matrix. Cross-group pairs (client endpoints,
+  // injected partitions) materialize sparsely on first touch; the storage
+  // layout never changes the rng draw order, so sharded traces are
+  // bit-identical to the dense layout's.
+  net_->configure_groups(cfg_.group.servers, cfg_.shards);
   net_->set_default_schedule(cfg_.group.links);
 }
 

@@ -1,8 +1,10 @@
 // Sharded multi-raft deployment: k independent cluster::Cluster consensus
 // groups multiplexed onto ONE Simulator and ONE Network. Sharing the
-// substrate is the point — every group's traffic rides the same dense n×n
-// link table, so groups genuinely contend for links (and for the network's
-// jitter rng), which is the interference question the policy grid probes.
+// substrate is the point — every group's traffic rides the same network
+// (block-diagonal link table: one n×n tile per group, sparse promotion
+// for touched cross-group pairs), so groups genuinely contend for the
+// shared event queue and the network's jitter rng, which is the
+// interference question the policy grid probes.
 //
 // Group g owns network node ids [g*servers, (g+1)*servers); client
 // endpoints land after every server. Per-group seeds fork from the master

@@ -407,6 +407,79 @@ TEST(ShardedSweep, GroupSizeAxisReusesOneSlotAcrossGeometries) {
   }
 }
 
+// ---- Kilo-node geometry (block-diagonal link table) --------------------------------
+
+scenario::ScenarioSpec kilo_spec(std::uint64_t seed, std::size_t shards) {
+  // 32 groups x 33 servers = 1056 nodes: every inter-group client pair rides
+  // the sparse cross-tile path, and each trial reset exercises the
+  // epoch-stamp contract over a thousand-node substrate.
+  scenario::ScenarioSpec spec;
+  spec.name = "kilo";
+  spec.variant = scenario::Variant::Dynatune;
+  spec.servers = 33;
+  spec.shards = shards;
+  spec.seed = seed;
+  spec.topology = scenario::TopologySpec::constant(40ms, 1ms, 0.005);
+  wl::MixConfig mix;
+  mix.clients = 4;
+  mix.get_ratio = 0.3;
+  mix.duration = 1s;
+  spec.workload = scenario::WorkloadPlan::closed_loop(mix);
+  return spec;
+}
+
+TEST(KiloSharded, SweepByteIdenticalAcrossThreadCountsAndReuse) {
+  scenario::SweepSpec sweep;
+  sweep.base = kilo_spec(0, 32);
+  sweep.variants = {scenario::Variant::Dynatune};
+  sweep.sizes = {33};
+  sweep.seeds = 2;
+  sweep.master_seed = 205;
+
+  sweep.reuse_substrate = false;
+  sweep.threads = 1;
+  const auto reference = scenario::ScenarioRunner::run_sweep(sweep);
+  ASSERT_EQ(reference.size(), 2u);
+  for (const auto& r : reference) ASSERT_EQ(r.shard_stats.size(), 32u);
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    for (const bool reuse : {false, true}) {
+      sweep.threads = threads;
+      sweep.reuse_substrate = reuse;
+      const auto got = scenario::ScenarioRunner::run_sweep(sweep);
+      ASSERT_EQ(got.size(), reference.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i], reference[i])
+            << "threads=" << threads << " reuse=" << reuse << " cell " << i;
+      }
+    }
+  }
+}
+
+TEST(KiloSharded, GeometryChangeRebuildsAtKiloScale) {
+  // Shrinking 32 -> 16 groups at 33 servers each changes the tiled geometry,
+  // which the grouped-mode reset precondition forbids in place: the slot must
+  // rebuild the network — and still match fresh construction bit for bit.
+  const scenario::ScenarioSpec first = kilo_spec(61, 32);
+  scenario::ScenarioSpec second = kilo_spec(62, 16);
+
+  auto sc = scenario::ScenarioRunner::materialize_sharded(first);
+  (void)scenario::ScenarioRunner::run_on(*sc, first);
+
+  shard::ShardedConfig next;
+  next.shards = second.shards;
+  next.partition = second.partition_mode;
+  next.group = cluster::make_dynatune_config(second.servers, second.seed);
+  next.group.links = net::ConditionSchedule::constant(
+      scenario::TopologySpec::constant(40ms, 1ms, 0.005).base);
+  sc->reset(std::move(next));
+  const scenario::ScenarioResult reused = scenario::ScenarioRunner::run_on(*sc, second);
+
+  const scenario::ScenarioResult fresh = scenario::ScenarioRunner::run(second);
+  EXPECT_EQ(fresh, reused);
+  EXPECT_EQ(reused.shard_stats.size(), 16u);
+}
+
 TEST(ShardedSpec, SingleShardPathIsUntouched) {
   // shards=1 dispatches down the classic single-cluster path: identical
   // results to a spec that predates the shard knobs, no shard stats.

@@ -26,6 +26,18 @@ gate can never flap on hardware differences:
   * fig_compaction.csv: committed-op / live-log / snapshot / replayed-entry
     counters are deterministic per seed; the peak-RSS and recovery-latency
     columns are timing cells.
+  * fig_shard.csv: scale/failover/kilo phases. Completion counters, applied
+    indices, rps/events-per-sim-second (simulated-time rates) and the
+    link-table byte columns are deterministic — link_table_bytes and
+    dense_link_table_bytes are exact integers, the direct record of the
+    block-diagonal layout's k-fold memory win. reset_us is a wall-clock
+    timing cell; peak_rss_mib is a memory cell.
+
+Memory cells (peak_rss_mib) get their own band: allocator noise is far
+smaller than scheduler noise, so on the pinned runner they are compared
+within --memory-rtol (default 0.3) rather than the looser timing band — a
+link table silently reverting to dense growth trips this long before it
+trips a timing band.
 
 Exit code 0 = no drift; 1 = drift (all mismatches are listed first).
 Stdlib only — no third-party dependencies.
@@ -45,9 +57,14 @@ TIMING_COLUMNS = {"real_time", "cpu_time"}
 
 # Machine-dependent columns of otherwise-deterministic files: skipped unless
 # the runner class matches, then compared within --timing-rtol.
-MACHINE_COLUMNS = {"sim_sec_per_wall_sec", "peak_rss_mib",
+MACHINE_COLUMNS = {"sim_sec_per_wall_sec",
                    "trials_per_sec_fresh", "trials_per_sec_reused", "speedup",
-                   "recovery_ms"}
+                   "recovery_ms", "reset_us"}
+
+# Memory columns: machine-dependent like timings, but allocator noise is much
+# smaller than scheduler noise, so on the pinned runner they get the tighter
+# --memory-rtol band instead of --timing-rtol.
+MEMORY_COLUMNS = {"peak_rss_mib"}
 
 # Columns that are identities or exact integer counters, never measurements:
 # compared as strings, no tolerance. (A 19-digit seed does not even round-trip
@@ -57,7 +74,7 @@ EXACT_COLUMNS = {"scenario", "variant", "servers", "seed", "kill", "ok", "availa
                  "mode", "phase", "ops", "log_entries", "snapshots", "replayed",
                  "max_cmds", "clients", "gets", "puts", "batches", "batched_cmds",
                  "rounds", "reads", "shards", "shard", "shard_servers", "partition",
-                 "applied", "undisturbed"}
+                 "applied", "undisturbed", "link_table_bytes", "dense_link_table_bytes"}
 
 
 def read_csv(path):
@@ -89,7 +106,8 @@ def cells_close(a, b, rtol, atol):
     return abs(fa - fb) <= atol + rtol * max(abs(fa), abs(fb))
 
 
-def compare_file(ref_path, gen_path, rtol, atol, schema_only, timing_banded, timing_rtol):
+def compare_file(ref_path, gen_path, rtol, atol, schema_only, timing_banded, timing_rtol,
+                 memory_rtol):
     errors = []
     ref_header, ref_rows = read_csv(ref_path)
     gen_header, gen_rows = read_csv(gen_path)
@@ -132,21 +150,25 @@ def compare_file(ref_path, gen_path, rtol, atol, schema_only, timing_banded, tim
 
     exact_cols = {i for i, name in enumerate(ref_header) if name in EXACT_COLUMNS}
     machine_cols = {i for i, name in enumerate(ref_header) if name in MACHINE_COLUMNS}
+    memory_cols = {i for i, name in enumerate(ref_header) if name in MEMORY_COLUMNS}
     mismatches = 0
     for i, (ref_row, gen_row) in enumerate(zip(ref_rows, gen_rows)):
         if len(ref_row) != len(gen_row):
             errors.append(f"{ref_path.name}:{i + 2}: cell count drift")
             continue
         for col, (a, b) in enumerate(zip(ref_row, gen_row)):
-            if col in machine_cols:
-                # Machine-dependent cell: banded on the pinned runner, else skipped.
+            if col in machine_cols or col in memory_cols:
+                # Machine-dependent cell: banded on the pinned runner, else
+                # skipped. Memory cells use the tighter memory band.
+                band = memory_rtol if col in memory_cols else timing_rtol
+                kind = "memory" if col in memory_cols else "timing"
                 if timing_banded and is_number(a) and is_number(b) and \
-                        not cells_close(a, b, timing_rtol, atol):
+                        not cells_close(a, b, band, atol):
                     mismatches += 1
                     if mismatches <= 10:
-                        errors.append(f"{ref_path.name}:{i + 2}: timing column "
+                        errors.append(f"{ref_path.name}:{i + 2}: {kind} column "
                                       f"'{ref_header[col]}' drifted: {a} -> {b} "
-                                      f"(band +-{timing_rtol:.0%})")
+                                      f"(band +-{band:.0%})")
                 continue
             if a == b:
                 continue
@@ -176,6 +198,9 @@ def main():
     ap.add_argument("--timing-rtol", type=float, default=0.5,
                     help="relative tolerance for timing cells on the pinned runner "
                          "(default 0.5)")
+    ap.add_argument("--memory-rtol", type=float, default=0.3,
+                    help="relative tolerance for memory cells (peak_rss_mib) on the "
+                         "pinned runner (default 0.3)")
     args = ap.parse_args()
 
     ref_dir = pathlib.Path(args.reference)
@@ -205,7 +230,8 @@ def main():
             continue
         all_errors.extend(compare_file(ref_path, gen_path, args.rtol, args.atol,
                                        ref_path.name in SCHEMA_ONLY,
-                                       timing_banded, args.timing_rtol))
+                                       timing_banded, args.timing_rtol,
+                                       args.memory_rtol))
         print(f"checked {ref_path.name}")
 
     if all_errors:
