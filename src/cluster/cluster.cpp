@@ -41,6 +41,14 @@ Cluster::Cluster(ClusterConfig config) : cfg_(std::move(config)) {
   state_machines_.resize(cfg_.servers);
   nodes_.resize(cfg_.servers);
   service_.resize(cfg_.servers);
+  roster_.resize(cfg_.servers);
+  for (std::size_t i = 0; i < cfg_.servers; ++i) {
+    roster_[i] = cfg_.node_base + static_cast<NodeId>(i);
+  }
+  if (cfg_.fault) {
+    DYNA_EXPECTS(cfg_.durable_log);  // a crash must be restartable
+    for (std::size_t i = 0; i < cfg_.servers; ++i) arm_injector(i);
+  }
 
   // Owned substrate: ids 0..servers-1. Shared substrate: the owner
   // constructs groups in node_base order, so the batch lands exactly on this
@@ -122,6 +130,22 @@ void Cluster::teardown_nodes() {
       n.reset();
     }
   }
+
+  // Servers added mid-trial (dynamic membership) exist only for that trial.
+  // Their nodes/queues hold timer handles against the *old* simulator, so
+  // the extra slots are destroyed here, before the substrate reset; the
+  // network itself drops ids >= servers in its own reset_for_trial.
+  if (nodes_.size() > cfg_.servers) {
+    nodes_.resize(cfg_.servers);
+    storages_.resize(cfg_.servers);
+    state_machines_.resize(cfg_.servers);
+    service_.resize(cfg_.servers);
+  }
+  if (injectors_.size() > cfg_.servers) injectors_.resize(cfg_.servers);
+  roster_.resize(cfg_.servers);
+  for (std::size_t i = 0; i < cfg_.servers; ++i) {
+    roster_[i] = cfg_.node_base + static_cast<NodeId>(i);  // un-tombstone
+  }
 }
 
 void Cluster::reset_substrate() {
@@ -139,6 +163,13 @@ void Cluster::reset_substrate() {
 
 void Cluster::reset_finish() {
   probe_.clear();
+  checker_.clear();
+  if (cfg_.fault) {
+    DYNA_EXPECTS(cfg_.durable_log);
+    for (std::size_t i = 0; i < cfg_.servers; ++i) arm_injector(i);
+  } else {
+    injectors_.clear();
+  }
 
   if (pending_reconfigure_ && !cfg_.policy_factory) {
     const Duration et = cfg_.raft.election_timeout;
@@ -194,25 +225,45 @@ void Cluster::reset_finish() {
 }
 
 std::vector<NodeId> Cluster::server_ids() const {
-  std::vector<NodeId> ids(cfg_.servers);
-  for (std::size_t i = 0; i < cfg_.servers; ++i) {
-    ids[i] = cfg_.node_base + static_cast<NodeId>(i);
+  std::vector<NodeId> ids;
+  ids.reserve(roster_.size());
+  for (const NodeId id : roster_) {
+    if (id != kNoNode) ids.push_back(id);
   }
   return ids;
 }
 
 std::size_t Cluster::index_of(NodeId id) const {
-  DYNA_EXPECTS(id >= cfg_.node_base &&
-               static_cast<std::size_t>(id - cfg_.node_base) < nodes_.size());
-  return static_cast<std::size_t>(id - cfg_.node_base);
+  // Founding servers sit at their id-derived slot; servers added mid-trial
+  // occupy the appended slots (scanned — there are at most a handful).
+  if (id >= cfg_.node_base) {
+    const std::size_t idx = static_cast<std::size_t>(id - cfg_.node_base);
+    if (idx < cfg_.servers) {
+      DYNA_EXPECTS(idx < roster_.size() && roster_[idx] == id);
+      return idx;
+    }
+  }
+  for (std::size_t i = cfg_.servers; i < roster_.size(); ++i) {
+    if (roster_[i] == id) return i;
+  }
+  DYNA_EXPECTS(!"unknown or removed server id");
+  return 0;
 }
 
-void Cluster::build_node(NodeId id) {
+void Cluster::arm_injector(std::size_t idx) {
+  if (!cfg_.fault) return;
+  if (injectors_.size() <= idx) injectors_.resize(idx + 1);
+  if (injectors_[idx] == nullptr || !(injectors_[idx]->config() == *cfg_.fault)) {
+    injectors_[idx] = std::make_unique<fault::Injector>(*cfg_.fault);
+  }
+  injectors_[idx]->arm(derive_seed(cfg_.seed, 0xFA017 + static_cast<std::uint64_t>(idx)));
+}
+
+void Cluster::build_node(NodeId id, bool as_learner) {
   const std::size_t idx = index_of(id);
   std::vector<NodeId> peers;
-  for (std::size_t p = 0; p < cfg_.servers; ++p) {
-    const NodeId pid = cfg_.node_base + static_cast<NodeId>(p);
-    if (pid != id) peers.push_back(pid);
+  for (const NodeId pid : roster_) {
+    if (pid != kNoNode && pid != id) peers.push_back(pid);
   }
 
   // Fresh state machine: on restart the node's start() restores it from the
@@ -239,8 +290,27 @@ void Cluster::build_node(NodeId id) {
       [](std::string_view payload) { return kv::is_read_only(payload); },
       [this, idx](std::string_view payload) { return state_machines_[idx]->apply_one(payload); });
   node->add_observer(&probe_);
+  node->add_observer(&checker_);
   if (perf_) node->add_observer(perf_.get());
   for (raft::Observer* o : cfg_.observers) node->add_observer(o);
+  node->set_self_learner(as_learner);
+  if (cfg_.fault) {
+    // The on-crash hook runs with the stack still inside RaftNode code (the
+    // CrashSignal unwound to the node's entry-point guard), so the teardown
+    // — and the later restart — are deferred to fresh simulator events. The
+    // (slot, id) binding is stable within a trial; the guards make both
+    // events no-ops if driver code crashed/removed the node in between.
+    node->set_fault(injectors_[idx].get(), [this, idx, id](NodeId) {
+      sim_->schedule_after(Duration{0}, [this, idx, id] {
+        if (idx >= roster_.size() || roster_[idx] != id || nodes_[idx] == nullptr) return;
+        crash(id);
+        sim_->schedule_after(cfg_.fault->restart_delay, [this, idx, id] {
+          if (idx >= roster_.size() || roster_[idx] != id || nodes_[idx] != nullptr) return;
+          restart(id);
+        });
+      });
+    });
+  }
   nodes_[idx] = std::move(node);
 
   // The handler closure only captures stable identity (this cluster, this
@@ -378,6 +448,102 @@ void Cluster::restart(NodeId id) {
                              "ClusterConfig::durable_log=true for crash/restart scenarios");
   }
   build_node(id);
+}
+
+NodeId Cluster::add_server(bool as_learner) {
+  DYNA_EXPECTS(owns_substrate());  // shared-substrate geometry is fixed
+  if (!cfg_.durable_log) {
+    throw std::runtime_error(
+        "Cluster::add_server: joining servers catch up from durable state; set "
+        "ClusterConfig::durable_log=true for membership-change scenarios");
+  }
+  // The network hands out the next endpoint id; it need not be dense with the
+  // server roster (workload clients claim endpoints too). index_of resolves
+  // appended servers by roster scan, never by id arithmetic.
+  const NodeId id = net_->add_node(nullptr);
+  const std::size_t idx = roster_.size();
+  roster_.push_back(id);
+  storages_.push_back(std::make_shared<raft::MemoryStorage>());
+  state_machines_.emplace_back();
+  nodes_.emplace_back();
+  auto queue = std::make_unique<ServiceQueue>(*sim_);
+  queue->configure_group(group_model());
+  service_.push_back(std::move(queue));
+  if (cfg_.fault) arm_injector(idx);
+  build_node(id, as_learner);
+  return id;
+}
+
+void Cluster::finalize_removal(NodeId id) {
+  const std::size_t idx = index_of(id);
+  if (nodes_[idx] != nullptr) {
+    nodes_[idx]->stop();
+    nodes_[idx].reset();
+  }
+  net_->set_paused(id, false);
+  roster_[idx] = kNoNode;  // slot survives (handlers capture idx), id is gone
+}
+
+std::optional<raft::LogIndex> Cluster::propose_config_change(raft::ConfigChange kind,
+                                                             NodeId target) {
+  const NodeId leader = current_leader();
+  if (leader == kNoNode) return std::nullopt;
+  return nodes_[index_of(leader)]->propose_config_change(kind, target);
+}
+
+bool Cluster::await_applied(raft::LogIndex index, Duration timeout) {
+  const TimePoint deadline = sim_->now() + timeout;
+  const auto applied = [this, index] {
+    const NodeId leader = current_leader();
+    if (leader == kNoNode) return false;
+    raft::RaftNode* n = nodes_[index_of(leader)].get();
+    return n != nullptr && n->last_applied() >= index;
+  };
+  while (sim_->now() < deadline) {
+    if (applied()) return true;
+    sim_->run_for(std::chrono::milliseconds(10));
+  }
+  return applied();
+}
+
+std::uint64_t Cluster::audit_invariants() {
+  // Log matching across final state: every entry a node still holds at a
+  // committed index must match the commit table built while applying.
+  for (std::size_t i = 0; i < roster_.size(); ++i) {
+    const NodeId id = roster_[i];
+    raft::RaftNode* n = id == kNoNode ? nullptr : nodes_[i].get();
+    if (n == nullptr) continue;
+    const raft::LogIndex lo = std::max<raft::LogIndex>(n->first_log_index(), 1);
+    const raft::LogIndex hi = std::min(n->commit_index(), n->last_log_index());
+    if (lo <= hi) {
+      n->log().for_each(lo, hi,
+                        [&](const raft::LogEntry& e) { checker_.audit_log_entry(id, e); });
+    }
+  }
+  const NodeId leader = current_leader();
+  if (leader != kNoNode) {
+    checker_.audit_leader_coverage(leader, nodes_[index_of(leader)]->last_log_index());
+  }
+  for (std::size_t i = 0; i < roster_.size(); ++i) {
+    const NodeId id = roster_[i];
+    raft::RaftNode* n = id == kNoNode ? nullptr : nodes_[i].get();
+    if (n == nullptr || !n->running()) continue;
+    checker_.audit_applied_state(id, n->last_applied(), state_machines_[i]->snapshot());
+  }
+  return checker_.count();
+}
+
+fault::Injector* Cluster::injector(NodeId id) {
+  const std::size_t idx = index_of(id);
+  return idx < injectors_.size() ? injectors_[idx].get() : nullptr;
+}
+
+std::uint64_t Cluster::fault_firings() const {
+  std::uint64_t total = 0;
+  for (const auto& inj : injectors_) {
+    if (inj) total += inj->fired();
+  }
+  return total;
 }
 
 bool service_available(Cluster& cluster) {

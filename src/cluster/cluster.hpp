@@ -17,9 +17,11 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "dynatune/config.hpp"
+#include "fault/injector.hpp"
 #include "kvstore/state_machine.hpp"
 #include "net/network.hpp"
 #include "raft/config.hpp"
+#include "raft/invariant_checker.hpp"
 #include "raft/node.hpp"
 #include "sim/simulator.hpp"
 
@@ -68,6 +70,12 @@ struct ClusterConfig {
   /// CPU accounting (Fig 7b); disabled by default to keep hot paths lean.
   std::optional<CostModel> perf_cost;
   Duration perf_bin = std::chrono::seconds(5);
+
+  /// Probabilistic crash points (src/fault/). When set, every server gets a
+  /// per-trial Injector seeded from (seed, slot) and a crashed node is
+  /// rebuilt from storage after `fault->restart_delay`. Requires
+  /// durable_log. Off by default — the hot paths stay branch-free.
+  std::optional<fault::InjectorConfig> fault;
 
   /// Additional observers attached to every node (and re-attached across
   /// restarts). Non-owning; must outlive the cluster.
@@ -165,15 +173,53 @@ class Cluster {
   /// (durable_log=false) — restarting it would lose committed entries.
   void restart(NodeId id);
 
+  // ---- Dynamic membership (single-server changes) ----
+  /// Provision a fresh server (storage, state machine, network endpoint) and
+  /// start it as a learner (default) or direct voter candidate. Returns the
+  /// new server's id. The server only *joins* once a leader commits the
+  /// matching AddLearner/AddVoter config entry (propose_config_change).
+  /// Requires an owned substrate and durable_log.
+  NodeId add_server(bool as_learner = true);
+
+  /// Tear down a server whose Remove entry has committed: the node object is
+  /// destroyed and its slot tombstoned for the rest of the trial (a trial
+  /// reset restores the founding roster).
+  void finalize_removal(NodeId id);
+
+  /// Propose a membership change through the current leader. Returns the log
+  /// index of the config entry, or nullopt when there is no leader or a
+  /// change is already in flight.
+  std::optional<raft::LogIndex> propose_config_change(raft::ConfigChange kind, NodeId target);
+
+  /// Advance simulation until the current leader has applied `index` (true)
+  /// or `timeout` elapses.
+  bool await_applied(raft::LogIndex index, Duration timeout);
+
+  // ---- Safety invariants / fault engine ----
+  /// The always-on invariant checker attached to every node of every trial.
+  [[nodiscard]] raft::InvariantChecker& checker() noexcept { return checker_; }
+
+  /// End-of-trial deep audit: every live log entry vs the commit table,
+  /// leader completeness, applied-prefix equality. Returns the checker's
+  /// total violation count (streaming + audit).
+  std::uint64_t audit_invariants();
+
+  /// Per-server crash-point injector (nullptr when fault injection is off).
+  [[nodiscard]] fault::Injector* injector(NodeId id);
+
+  /// Total crash-point firings across all servers this trial.
+  [[nodiscard]] std::uint64_t fault_firings() const;
+
   /// Fork an independent RNG stream for drivers built on this cluster.
   [[nodiscard]] Rng fork_rng(std::uint64_t stream) {
     return Rng(derive_seed(cfg_.seed, 0xC0FFEE ^ stream));
   }
 
  private:
-  void build_node(NodeId id);
+  void build_node(NodeId id, bool as_learner = false);
   void teardown_nodes();
   void reset_substrate();
+  void arm_injector(std::size_t idx);
   [[nodiscard]] bool owns_substrate() const noexcept { return owned_sim_ != nullptr; }
   [[nodiscard]] std::size_t index_of(NodeId id) const;
   [[nodiscard]] Duration service_time_for(NodeId id) const;
@@ -188,11 +234,19 @@ class Cluster {
   net::Network* net_ = nullptr;
   bool pending_reconfigure_ = false;  ///< set by reset_begin, read by reset_finish
   Probe probe_;
+  raft::InvariantChecker checker_;
   std::unique_ptr<PerfModel> perf_;
   std::vector<std::shared_ptr<raft::Storage>> storages_;
   std::vector<std::unique_ptr<kv::KvStateMachine>> state_machines_;
   std::vector<std::unique_ptr<raft::RaftNode>> nodes_;
   std::vector<std::unique_ptr<ServiceQueue>> service_;
+  /// Server id per slot, kNoNode once removed. Slots are never erased — the
+  /// network handler closures capture slot indices — only tombstoned; a
+  /// trial reset restores the founding roster [node_base, node_base+servers).
+  std::vector<NodeId> roster_;
+  /// Per-slot crash-point injectors (empty unless cfg_.fault). Armed once
+  /// per trial so max_fires survives mid-trial crash/restart cycles.
+  std::vector<std::unique_ptr<fault::Injector>> injectors_;
 };
 
 /// True when some live node leads at the cluster's maximum term — i.e. the

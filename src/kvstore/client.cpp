@@ -158,7 +158,11 @@ void KvClient::on_message(NodeId /*from*/, const net::Message& payload) {
     sim_->cancel(p.timeout_event);
     p.timeout_event = sim::kInvalidEvent;
   }
-  if (resp->leader_hint != kNoNode) {
+  // Follow the hint only if it names a server we still know: a follower that
+  // hasn't applied a Remove yet can hint at a departed node, and chasing it
+  // would spin against a dead endpoint until the attempt budget ran out.
+  if (resp->leader_hint != kNoNode &&
+      std::find(servers_.begin(), servers_.end(), resp->leader_hint) != servers_.end()) {
     target_ = resp->leader_hint;
   } else {
     rotate_target();

@@ -70,6 +70,25 @@ class KvClient {
     target_ = leader;
   }
 
+  /// Drop a server removed from the cluster (membership churn): it leaves
+  /// the retry rotation, and if it was the current target the client rotates
+  /// immediately instead of timing out against a dead endpoint. At least one
+  /// server must remain.
+  void remove_server(NodeId id) {
+    const auto it = std::find(servers_.begin(), servers_.end(), id);
+    if (it == servers_.end()) return;
+    DYNA_EXPECTS(servers_.size() > 1);
+    servers_.erase(it);
+    if (target_ == id) rotate_target();
+  }
+
+  /// Register a server added to the cluster: it joins the retry rotation.
+  void add_server(NodeId id) {
+    if (std::find(servers_.begin(), servers_.end(), id) == servers_.end()) {
+      servers_.push_back(id);
+    }
+  }
+
   void put(std::string key, std::string value, DoneFn done);
   void get(std::string key, DoneFn done);
   void del(std::string key, DoneFn done);

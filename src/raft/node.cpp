@@ -57,19 +57,14 @@ RaftNode::RaftNode(NodeId id, std::vector<NodeId> peers, sim::Simulator& simulat
       storage_(std::move(storage)),
       policy_(std::move(policy)),
       rng_(std::move(rng)),
-      election_timer_(simulator, [this] { on_election_deadline(); }) {
+      election_timer_(simulator, [this] { with_crash_guard([this] { on_election_deadline(); }); }) {
   DYNA_EXPECTS(storage_ != nullptr);
   DYNA_EXPECTS(policy_ != nullptr);
   DYNA_EXPECTS(std::find(peers_.begin(), peers_.end(), id_) == peers_.end());
-  NodeId max_peer = -1;
-  for (const NodeId p : peers_) {
-    DYNA_EXPECTS(p >= 0);
-    max_peer = std::max(max_peer, p);
-  }
-  peer_slot_.assign(static_cast<std::size_t>(max_peer + 1), -1);
-  for (std::size_t i = 0; i < peers_.size(); ++i) {
-    peer_slot_[static_cast<std::size_t>(peers_[i])] = static_cast<int>(i);
-  }
+  for (const NodeId p : peers_) DYNA_EXPECTS(p >= 0);
+  founding_peers_ = peers_;
+  rebuild_peer_slots();
+  peer_learner_.assign(peers_.size(), 0);
   peer_state_.resize(peers_.size());
 }
 
@@ -89,17 +84,30 @@ void RaftNode::start() {
     if (restore_) restore_(*snapshot_);
     commit_index_ = snapshot_->last_index;
     last_applied_ = snapshot_->last_index;
+    // Membership as of the snapshot line; config entries in the replayed
+    // suffix re-apply on commit and converge on the final roster.
+    if (!snapshot_->voters.empty() || !snapshot_->learners.empty()) {
+      install_membership(snapshot_->voters, snapshot_->learners);
+    }
   }
   running_ = true;
   role_ = Role::Follower;
   leader_ = kNoNode;
   refresh_randomized_timeout(/*force_redraw=*/true);
   election_timer_.arm(randomized_timeout_);
+  for (Observer* o : observers_) o->on_node_started(id_, sim_->now());
 }
 
 void RaftNode::stop() {
   running_ = false;
   election_timer_.cancel();
+  if (flush_scheduled_) {
+    // The flush lambda captures `this`; a crashed node may be destroyed
+    // before the event fires, so it must not outlive the node.
+    sim_->cancel(flush_event_);
+    flush_scheduled_ = false;
+    flush_event_ = sim::kInvalidEvent;
+  }
   for (PeerState& ps : peer_state_) ps.heartbeat_timer.reset();
   broadcast_timer_.reset();
   // A crash drops accumulated-but-unsealed commands and pending reads on the
@@ -127,6 +135,18 @@ void RaftNode::reset_for_trial(Rng rng) {
   if (broadcast_timer_) broadcast_timer_->forget();
   broadcast_timer_.reset();
 
+  // Membership changes are trial state: return to the founding roster.
+  if (membership_changed_ || peers_.size() != founding_peers_.size()) {
+    peers_ = founding_peers_;
+    rebuild_peer_slots();
+    peer_state_.resize(peers_.size());
+  }
+  peer_learner_.assign(peers_.size(), 0);
+  self_learner_ = false;
+  left_ = false;
+  membership_changed_ = false;
+  pending_config_ = 0;
+
   // Persistent-state mirrors and the log: start() reloads them from the
   // (reset) storage; clearing here keeps the segment store's tail capacity.
   term_ = 0;
@@ -149,7 +169,10 @@ void RaftNode::reset_for_trial(Rng rng) {
   prevote_grants_.clear();
   vote_grants_.clear();
 
+  // Like the timer handles above: the event predates the simulator reset, so
+  // forget the handle rather than cancel through it.
   flush_scheduled_ = false;
+  flush_event_ = sim::kInvalidEvent;
   match_scratch_.clear();
   frozen_election_remaining_.reset();
   frozen_broadcast_remaining_.reset();
@@ -253,6 +276,9 @@ void RaftNode::reset_election_timer() {
 void RaftNode::on_election_deadline() {
   if (!running_ || paused_) return;
   if (role_ == Role::Leader) return;  // stale (leaders cancel this timer)
+  // Learners and removed servers never campaign. The timer stays quiet until
+  // leader contact re-arms it (or a Promote entry restores candidacy).
+  if (self_learner_ || left_) return;
 
   for (Observer* o : observers_) o->on_election_timeout(id_, term_, sim_->now());
   // Dynatune: discard measurement state, fall back to conservative defaults.
@@ -328,8 +354,9 @@ void RaftNode::start_prevote() {
   req.candidate = id_;
   req.last_log_index = last_log_index();
   req.last_log_term = term_at(last_log_index());
-  for (NodeId peer : peers_) {
-    send(peer, req, net::Transport::Reliable, MsgKind::PreVote);
+  for (std::size_t slot = 0; slot < peers_.size(); ++slot) {
+    if (peer_learner_[slot] != 0) continue;  // learners hold no vote
+    send(peers_[slot], req, net::Transport::Reliable, MsgKind::PreVote);
   }
 }
 
@@ -354,8 +381,9 @@ void RaftNode::start_election() {
   req.candidate = id_;
   req.last_log_index = last_log_index();
   req.last_log_term = term_at(last_log_index());
-  for (NodeId peer : peers_) {
-    send(peer, req, net::Transport::Reliable, MsgKind::Vote);
+  for (std::size_t slot = 0; slot < peers_.size(); ++slot) {
+    if (peer_learner_[slot] != 0) continue;  // learners hold no vote
+    send(peers_[slot], req, net::Transport::Reliable, MsgKind::Vote);
   }
 }
 
@@ -374,13 +402,22 @@ void RaftNode::become_leader() {
     ps.next_index = last_log_index() + 1;
   }
 
+  // Inherit any uncommitted config change from an earlier reign: the
+  // one-in-flight rule spans leaders, not reigns.
+  pending_config_ = 0;
+  if (commit_index_ < last_log_index()) {
+    log_.for_each(commit_index_ + 1, last_log_index(), [this](const LogEntry& entry) {
+      if (entry.command.is_config()) pending_config_ = entry.index;
+    });
+  }
+
   // Commit a no-op for the new term so earlier-term entries become
   // committable (Raft §5.4.2).
   LogEntry noop;
   noop.term = term_;
   noop.index = last_log_index() + 1;
   const LogEntry& appended = log_.append(std::move(noop));
-  storage_->append(std::span<const LogEntry>(&appended, 1));
+  persist_append(std::span<const LogEntry>(&appended, 1));
 
   for (std::size_t slot = 0; slot < peer_state_.size(); ++slot) {
     replicate_to(slot);
@@ -395,12 +432,14 @@ void RaftNode::arm_heartbeat_timers() {
   if (config_.per_follower_heartbeat) {
     for (std::size_t slot = 0; slot < peers_.size(); ++slot) {
       auto timer = std::make_unique<sim::Timer>(*sim_, [this, slot] {
-        if (role_ != Role::Leader || !running_ || paused_) return;
-        send_heartbeat(slot);
-        PeerState& ps = peer_state_[slot];
-        if (ps.heartbeat_timer) {
-          ps.heartbeat_timer->arm(policy_->heartbeat_interval(peers_[slot]));
-        }
+        with_crash_guard([this, slot] {
+          if (role_ != Role::Leader || !running_ || paused_) return;
+          send_heartbeat(slot);
+          PeerState& ps = peer_state_[slot];
+          if (ps.heartbeat_timer) {
+            ps.heartbeat_timer->arm(policy_->heartbeat_interval(peers_[slot]));
+          }
+        });
       });
       // Stagger the initial phase per follower: real per-follower timers are
       // desynchronized, and keeping them so prevents every follower's
@@ -412,9 +451,11 @@ void RaftNode::arm_heartbeat_timers() {
     }
   } else {
     broadcast_timer_ = std::make_unique<sim::Timer>(*sim_, [this] {
-      if (role_ != Role::Leader || !running_ || paused_) return;
-      broadcast_heartbeats();
-      broadcast_timer_->arm(broadcast_interval());
+      with_crash_guard([this] {
+        if (role_ != Role::Leader || !running_ || paused_) return;
+        broadcast_heartbeats();
+        broadcast_timer_->arm(broadcast_interval());
+      });
     });
     broadcast_timer_->arm(broadcast_interval());
   }
@@ -474,12 +515,15 @@ void RaftNode::send_heartbeat(std::size_t slot) {
 void RaftNode::schedule_flush() {
   if (flush_scheduled_) return;
   flush_scheduled_ = true;
-  sim_->schedule_after(config_.batch_delay, [this] {
+  flush_event_ = sim_->schedule_after(config_.batch_delay, [this] {
     flush_scheduled_ = false;
-    if (!running_ || paused_) return;
-    seal_batch();
-    flush_replication();
-    send_read_probes();
+    flush_event_ = sim::kInvalidEvent;
+    with_crash_guard([this] {
+      if (!running_ || paused_) return;
+      seal_batch();
+      flush_replication();
+      send_read_probes();
+    });
   });
 }
 
@@ -549,14 +593,18 @@ void RaftNode::maybe_advance_commit() {
   // beyond it. The idle heartbeat path used to allocate and sort an n-wide
   // vector on every response; now it is one predictable array walk.
   std::size_t above = last_log_index() > commit_index_ ? 1 : 0;
-  for (const PeerState& ps : peer_state_) {
-    if (ps.match_index > commit_index_) ++above;
+  for (std::size_t slot = 0; slot < peer_state_.size(); ++slot) {
+    if (peer_learner_[slot] != 0) continue;  // learners replicate, never count
+    if (peer_state_[slot].match_index > commit_index_) ++above;
   }
   if (above < majority()) return;
 
   match_scratch_.clear();
   match_scratch_.push_back(last_log_index());  // leader matches itself
-  for (const PeerState& ps : peer_state_) match_scratch_.push_back(ps.match_index);
+  for (std::size_t slot = 0; slot < peer_state_.size(); ++slot) {
+    if (peer_learner_[slot] != 0) continue;
+    match_scratch_.push_back(peer_state_[slot].match_index);
+  }
   const auto kth = match_scratch_.begin() + static_cast<std::ptrdiff_t>(majority() - 1);
   std::nth_element(match_scratch_.begin(), kth, match_scratch_.end(), std::greater<>());
   const LogIndex candidate = *kth;
@@ -576,7 +624,11 @@ void RaftNode::apply_committed() {
   log_.for_each(from, to, [&](const LogEntry& entry) {
     ++last_applied_;
     std::string result;
-    if (apply_ && !entry.command.is_noop()) result = apply_(entry);
+    if (entry.command.is_config()) {
+      apply_config_change(entry);
+    } else if (apply_ && !entry.command.is_noop()) {
+      result = apply_(entry);
+    }
     for (Observer* o : observers_) o->on_entry_committed(id_, entry, sim_->now());
     if (role_ == Role::Leader && !batch_routes_.empty() &&
         batch_routes_.front().index == entry.index) {
@@ -612,6 +664,12 @@ void RaftNode::apply_committed() {
            MsgKind::ClientResponse);
     }
   });
+  if (left_ && role_ == Role::Leader) {
+    // A committed Remove for this node applied: the entry is replicated, so
+    // the rest of the cluster can elect without us — abdicate.
+    become_follower(term_, kNoNode);
+    return;
+  }
   drain_reads();  // the apply watermark moved; waiting reads may now be servable
   maybe_take_snapshot();
 }
@@ -629,8 +687,22 @@ void RaftNode::maybe_take_snapshot() {
   snap->last_index = last_applied_;
   snap->last_term = log_.term_at(last_applied_);
   snap->data = snapshot_fn_();
+  if (membership_changed_) {
+    // Record the roster as of last_applied_ (sorted for determinism) so a
+    // snapshot-led recovery rejoins the post-churn membership. Pre-churn
+    // snapshots stay byte-identical to the legacy layout.
+    if (!self_learner_ && !left_) snap->voters.push_back(id_);
+    if (self_learner_ && !left_) snap->learners.push_back(id_);
+    for (std::size_t slot = 0; slot < peers_.size(); ++slot) {
+      (peer_learner_[slot] != 0 ? snap->learners : snap->voters).push_back(peers_[slot]);
+    }
+    std::sort(snap->voters.begin(), snap->voters.end());
+    std::sort(snap->learners.begin(), snap->learners.end());
+  }
   snapshot_ = std::move(snap);
+  crash_point(fault::CrashPoint::BeforeSnapshotInstall);
   storage_->save_snapshot(snapshot_);
+  crash_point(fault::CrashPoint::AfterSnapshotInstall);
   ++snapshots_taken_;
   const LogIndex keep = std::min<LogIndex>(config_.snapshot_trailing, last_applied_);
   const LogIndex cut = last_applied_ - keep;
@@ -645,6 +717,10 @@ void RaftNode::maybe_take_snapshot() {
 
 void RaftNode::handle_message(NodeId from, const Message& message) {
   if (!running_ || paused_) return;
+  with_crash_guard([&] { dispatch_message(from, message); });
+}
+
+void RaftNode::dispatch_message(NodeId from, const Message& message) {
   const MsgInfo info = info_of(message);
   for (Observer* o : observers_) {
     o->on_message_received(id_, from, info.kind, info.bytes, sim_->now());
@@ -680,6 +756,7 @@ void RaftNode::handle_message(NodeId from, const Message& message) {
 
 void RaftNode::send(NodeId to, Message message, net::Transport transport, MsgKind kind) {
   if (!running_ || paused_) return;
+  crash_point(fault::CrashPoint::PreSend);
   const std::size_t bytes = approx_size(message);
   for (Observer* o : observers_) o->on_message_sent(id_, to, kind, bytes, sim_->now());
   net_->send(id_, to, std::move(message), transport, bytes);
@@ -739,7 +816,7 @@ void RaftNode::on_append_entries(NodeId from, const AppendEntriesRequest& req) {
       // segment by reference — the follower's copy of this suffix IS the
       // leader's materialization, shared cluster-wide.
       log_.append_view(req.entries);
-      storage_->append(std::span<const LogEntry>(req.entries.begin(), req.entries.size()));
+      persist_append(std::span<const LogEntry>(req.entries.begin(), req.entries.size()));
     } else {
       // Overlap with what we already hold: append genuinely new entries,
       // truncating on divergence, entry by entry.
@@ -750,13 +827,13 @@ void RaftNode::on_append_entries(NodeId from, const AppendEntriesRequest& req) {
             storage_->truncate_from(entry.index);
             log_.truncate_from(entry.index);
             const LogEntry& appended = log_.append(entry);
-            storage_->append(std::span<const LogEntry>(&appended, 1));
+            persist_append(std::span<const LogEntry>(&appended, 1));
           }
           // else: duplicate of what we already hold — skip.
         } else {
           DYNA_ASSERT(entry.index == last_log_index() + 1);
           const LogEntry& appended = log_.append(entry);
-          storage_->append(std::span<const LogEntry>(&appended, 1));
+          persist_append(std::span<const LogEntry>(&appended, 1));
         }
       }
     }
@@ -860,6 +937,7 @@ void RaftNode::on_install_snapshot(NodeId from, const InstallSnapshotRequest& re
     resp.success = true;
     resp.last_index = snap.last_index;
   } else {
+    crash_point(fault::CrashPoint::BeforeSnapshotInstall);
     if (restore_) restore_(snap);
     snapshot_ = req.snapshot;  // adopt the shared handle; no blob copy
     storage_->save_snapshot(snapshot_);
@@ -876,6 +954,10 @@ void RaftNode::on_install_snapshot(NodeId from, const InstallSnapshotRequest& re
     }
     commit_index_ = snap.last_index;
     last_applied_ = snap.last_index;
+    if (!snap.voters.empty() || !snap.learners.empty()) {
+      install_membership(snap.voters, snap.learners);
+    }
+    crash_point(fault::CrashPoint::AfterSnapshotInstall);
     resp.success = true;
     resp.last_index = snap.last_index;
   }
@@ -911,7 +993,8 @@ void RaftNode::on_prevote_request(NodeId from, const PreVoteRequest& req) {
   // Grant iff the candidate could plausibly win: its log is up to date, its
   // prospective term is not behind ours, and we ourselves have lost the
   // leader (leader stickiness — the key to surviving RTT spikes).
-  resp.granted = req.term >= term_ && log_up_to_date(req.last_log_index, req.last_log_term) &&
+  resp.granted = !self_learner_ && !left_ && req.term >= term_ &&
+                 log_up_to_date(req.last_log_index, req.last_log_term) &&
                  !heard_from_leader_recently();
   send(from, std::move(resp), net::Transport::Reliable, MsgKind::PreVoteResponse);
 }
@@ -937,7 +1020,8 @@ void RaftNode::on_vote_request(NodeId from, const RequestVoteRequest& req) {
   }
   RequestVoteResponse resp;
   resp.term = term_;
-  resp.granted = req.term == term_ && (voted_for_ == kNoNode || voted_for_ == req.candidate) &&
+  resp.granted = !self_learner_ && !left_ && req.term == term_ &&
+                 (voted_for_ == kNoNode || voted_for_ == req.candidate) &&
                  log_up_to_date(req.last_log_index, req.last_log_term);
   if (resp.granted) {
     voted_for_ = req.candidate;
@@ -1023,15 +1107,38 @@ LogIndex RaftNode::append_leader_entry(Command command) {
   entry.command = std::move(command);
   const LogIndex index = entry.index;
   const LogEntry& appended = log_.append(std::move(entry));
-  storage_->append(std::span<const LogEntry>(&appended, 1));
+  persist_append(std::span<const LogEntry>(&appended, 1));
   return index;
 }
 
 std::optional<LogIndex> RaftNode::submit(Command command) {
   if (role_ != Role::Leader || !running_ || paused_) return std::nullopt;
-  const LogIndex index = append_leader_entry(std::move(command));
-  schedule_flush();
-  if (majority() == 1) maybe_advance_commit();  // single-node cluster
+  std::optional<LogIndex> index;
+  with_crash_guard([&] {
+    index = append_leader_entry(std::move(command));
+    schedule_flush();
+    if (majority() == 1) maybe_advance_commit();  // single-node cluster
+  });
+  return index;
+}
+
+std::optional<LogIndex> RaftNode::propose_config_change(ConfigChange kind, NodeId target) {
+  DYNA_EXPECTS(kind != ConfigChange::None);
+  DYNA_EXPECTS(target >= 0);
+  if (role_ != Role::Leader || !running_ || paused_) return std::nullopt;
+  // Single-server changes only, one at a time: consecutive changes share a
+  // majority, so election safety holds without joint consensus.
+  if (pending_config_ > commit_index_) return std::nullopt;
+  std::optional<LogIndex> index;
+  with_crash_guard([&] {
+    Command cmd;
+    cmd.config_change = kind;
+    cmd.config_target = target;
+    index = append_leader_entry(std::move(cmd));
+    pending_config_ = *index;
+    schedule_flush();
+    if (majority() == 1) maybe_advance_commit();
+  });
   return index;
 }
 
@@ -1068,6 +1175,7 @@ void RaftNode::seal_batch() {
   // the single-client field.
   route.index = last_log_index() + 1;
   batch_routes_.push_back(std::move(route));
+  crash_point(fault::CrashPoint::MidBatchSeal);
   append_leader_entry(std::move(cmd));
   if (majority() == 1) maybe_advance_commit();
 }
@@ -1114,8 +1222,9 @@ void RaftNode::drain_reads() {
     const PendingRead& pr = pending_reads_.front();
     if (pr.read_index > last_applied_) return;  // machine not caught up yet
     std::size_t confirmed = 1;  // the leader itself
-    for (const PeerState& ps : peer_state_) {
-      if (ps.acked_barrier >= pr.barrier) ++confirmed;
+    for (std::size_t slot = 0; slot < peer_state_.size(); ++slot) {
+      if (peer_learner_[slot] != 0) continue;  // quorum is over voters only
+      if (peer_state_[slot].acked_barrier >= pr.barrier) ++confirmed;
     }
     if (confirmed < majority()) return;  // FIFO: later reads can't pass either
     ClientResponse resp;
@@ -1166,6 +1275,150 @@ bool RaftNode::log_up_to_date(LogIndex their_index, Term their_term) const {
   return their_index >= last_log_index();
 }
 
-void RaftNode::persist_hard_state() { storage_->save_hard_state(term_, voted_for_); }
+void RaftNode::persist_hard_state() {
+  crash_point(fault::CrashPoint::BeforePersistHardState);
+  storage_->save_hard_state(term_, voted_for_);
+  crash_point(fault::CrashPoint::AfterPersistHardState);
+}
+
+void RaftNode::persist_append(std::span<const LogEntry> entries) {
+  // The in-memory log_ already holds the suffix: a BeforePersistAppend crash
+  // is the plug pulled between the volatile append and the durable one, so
+  // the entries are lost on restart — exactly the window a real fsync gap
+  // leaves open.
+  crash_point(fault::CrashPoint::BeforePersistAppend);
+  storage_->append(entries);
+  crash_point(fault::CrashPoint::AfterPersistAppend);
+}
+
+// ---- Membership --------------------------------------------------------------------
+
+void RaftNode::rebuild_peer_slots() {
+  NodeId max_peer = -1;
+  for (const NodeId p : peers_) max_peer = std::max(max_peer, p);
+  peer_slot_.assign(static_cast<std::size_t>(max_peer + 1), -1);
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    peer_slot_[static_cast<std::size_t>(peers_[i])] = static_cast<int>(i);
+  }
+}
+
+void RaftNode::rebuild_leader_timers() {
+  if (role_ != Role::Leader || !running_) return;
+  for (PeerState& ps : peer_state_) ps.heartbeat_timer.reset();
+  broadcast_timer_.reset();
+  arm_heartbeat_timers();
+}
+
+void RaftNode::add_peer(NodeId peer, bool learner) {
+  if (peer == id_) return;
+  const int slot = peer_slot(peer);
+  if (slot >= 0) {
+    peer_learner_[static_cast<std::size_t>(slot)] = learner ? 1 : 0;
+    return;
+  }
+  peers_.push_back(peer);
+  peer_learner_.push_back(learner ? 1 : 0);
+  PeerState ps;
+  ps.next_index = last_log_index() + 1;
+  peer_state_.push_back(std::move(ps));
+  rebuild_peer_slots();
+  if (role_ == Role::Leader) {
+    rebuild_leader_timers();
+    replicate_to(peer_state_.size() - 1);
+  }
+}
+
+void RaftNode::remove_peer(NodeId peer) {
+  const int slot = peer_slot(peer);
+  if (slot < 0) return;
+  const auto s = static_cast<std::size_t>(slot);
+  if (peer_state_[s].heartbeat_timer) peer_state_[s].heartbeat_timer.reset();
+  peers_.erase(peers_.begin() + slot);
+  peer_learner_.erase(peer_learner_.begin() + slot);
+  peer_state_.erase(peer_state_.begin() + slot);
+  rebuild_peer_slots();
+  // Stale grants from the departed voter must not count toward any quorum.
+  prevote_grants_.erase(peer);
+  vote_grants_.erase(peer);
+  if (role_ == Role::Leader) {
+    // Per-follower timer lambdas capture slots, which just shifted.
+    rebuild_leader_timers();
+    maybe_advance_commit();  // quorum shrank: pending entries may commit now
+  }
+}
+
+void RaftNode::install_membership(const std::vector<NodeId>& voters,
+                                  const std::vector<NodeId>& learners) {
+  const auto contains = [](const std::vector<NodeId>& v, NodeId n) {
+    return std::find(v.begin(), v.end(), n) != v.end();
+  };
+  std::vector<NodeId> next_peers;
+  std::vector<std::uint8_t> next_learner;
+  for (const NodeId n : voters) {
+    if (n == id_) continue;
+    next_peers.push_back(n);
+    next_learner.push_back(0);
+  }
+  for (const NodeId n : learners) {
+    if (n == id_) continue;
+    next_peers.push_back(n);
+    next_learner.push_back(1);
+  }
+  const bool self_learner = contains(learners, id_);
+  const bool left = !self_learner && !contains(voters, id_);
+  if (next_peers == peers_ && next_learner == peer_learner_ && self_learner == self_learner_ &&
+      left == left_) {
+    return;  // identical view: take no action (keeps legacy trials untouched)
+  }
+  membership_changed_ = true;
+  self_learner_ = self_learner;
+  left_ = left;
+  peers_ = std::move(next_peers);
+  peer_learner_ = std::move(next_learner);
+  peer_state_.clear();
+  peer_state_.resize(peers_.size());
+  for (PeerState& ps : peer_state_) ps.next_index = last_log_index() + 1;
+  rebuild_peer_slots();
+  if (role_ == Role::Leader) rebuild_leader_timers();
+}
+
+void RaftNode::apply_config_change(const LogEntry& entry) {
+  const NodeId target = entry.command.config_target;
+  membership_changed_ = true;
+  switch (entry.command.config_change) {
+    case ConfigChange::None:
+      break;
+    case ConfigChange::AddVoter:
+      if (target == id_) {
+        self_learner_ = false;
+        left_ = false;
+      } else {
+        add_peer(target, /*learner=*/false);
+      }
+      break;
+    case ConfigChange::AddLearner:
+      if (target == id_) {
+        self_learner_ = true;
+      } else {
+        add_peer(target, /*learner=*/true);
+      }
+      break;
+    case ConfigChange::Promote:
+      if (target == id_) {
+        self_learner_ = false;
+      } else {
+        add_peer(target, /*learner=*/false);  // idempotent: promotes if present
+      }
+      break;
+    case ConfigChange::Remove:
+      if (target == id_) {
+        left_ = true;  // leader abdication happens after the apply walk
+      } else {
+        remove_peer(target);
+      }
+      break;
+  }
+  if (entry.index >= pending_config_) pending_config_ = 0;
+}
 
 }  // namespace dyna::raft

@@ -12,12 +12,14 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "fault/injector.hpp"
 #include "net/network.hpp"
 #include "raft/config.hpp"
 #include "raft/election_policy.hpp"
@@ -87,6 +89,23 @@ class RaftNode {
   /// nullopt when this node is not the leader.
   std::optional<LogIndex> submit(Command command);
 
+  /// Propose a single-server membership change (leader only). At most one
+  /// change may be uncommitted at a time; returns nullopt when this node is
+  /// not the leader or a change is already in flight.
+  std::optional<LogIndex> propose_config_change(ConfigChange kind, NodeId target);
+
+  /// Attach a fault injector (crash points fire through it) and the callback
+  /// invoked after a firing has stopped the node. The callback runs with the
+  /// stack fully unwound out of raft code, but must still defer teardown of
+  /// the node object to a fresh simulator event.
+  void set_fault(fault::Injector* injector, std::function<void(NodeId)> on_crash) {
+    fault_ = injector;
+    on_crash_ = std::move(on_crash);
+  }
+
+  /// Mark this node a non-voting learner before start() (joining servers).
+  void set_self_learner(bool learner) noexcept { self_learner_ = learner; }
+
   void set_apply(ApplyFn apply) { apply_ = std::move(apply); }
   void set_snapshot_hooks(SnapshotFn take, RestoreFn restore) {
     snapshot_fn_ = std::move(take);
@@ -118,6 +137,19 @@ class RaftNode {
   }
   [[nodiscard]] std::uint64_t snapshots_taken() const noexcept { return snapshots_taken_; }
   [[nodiscard]] const RaftLog& log() const noexcept { return log_; }
+  [[nodiscard]] SnapshotHandle snapshot() const noexcept { return snapshot_; }
+  /// Current membership view (config-change state; see ConfigChange).
+  [[nodiscard]] const std::vector<NodeId>& peers() const noexcept { return peers_; }
+  [[nodiscard]] bool is_learner() const noexcept { return self_learner_; }
+  /// True once a committed Remove for this node has applied.
+  [[nodiscard]] bool has_left() const noexcept { return left_; }
+  [[nodiscard]] std::size_t voter_count() const noexcept {
+    std::size_t voters = self_learner_ || left_ ? 0 : 1;
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+      if (peer_learner_[i] == 0) ++voters;
+    }
+    return voters;
+  }
   [[nodiscard]] ElectionPolicy& policy() noexcept { return *policy_; }
   [[nodiscard]] const RaftConfig& config() const noexcept { return config_; }
 
@@ -154,6 +186,7 @@ class RaftNode {
   [[nodiscard]] Duration draw_randomized_timeout(Duration base) ;
 
   // ---- Message handlers ----
+  void dispatch_message(NodeId from, const Message& message);
   void on_append_entries(NodeId from, const AppendEntriesRequest& req);
   void on_append_response(NodeId from, const AppendEntriesResponse& resp);
   void on_install_snapshot(NodeId from, const InstallSnapshotRequest& req);
@@ -184,12 +217,55 @@ class RaftNode {
 
   // ---- Helpers ----
   void persist_hard_state();
+  void persist_append(std::span<const LogEntry> entries);
   [[nodiscard]] bool log_up_to_date(LogIndex their_index, Term their_term) const;
   [[nodiscard]] Term term_at(LogIndex index) const;
-  [[nodiscard]] std::size_t majority() const noexcept { return (peers_.size() + 1) / 2 + 1; }
+  /// Quorum over the VOTER set (learners replicate but never count).
+  [[nodiscard]] std::size_t majority() const noexcept { return voter_count() / 2 + 1; }
   [[nodiscard]] bool heard_from_leader_recently() const;
   void send(NodeId to, Message message, net::Transport transport, MsgKind kind);
   void notify_role_change(Role from, Role to);
+
+  // ---- Membership (single-server changes, applied on commit) ----
+  void apply_config_change(const LogEntry& entry);
+  void add_peer(NodeId peer, bool learner);
+  void remove_peer(NodeId peer);
+  void rebuild_peer_slots();
+  /// Adopt an explicit membership (snapshot restore / install). No-op when it
+  /// matches the current view, so legacy trials take identical paths.
+  void install_membership(const std::vector<NodeId>& voters,
+                          const std::vector<NodeId>& learners);
+  /// Re-arm leader replication timers after the peer set changed (the
+  /// per-follower timer lambdas capture slots, which just moved).
+  void rebuild_leader_timers();
+
+  // ---- Fault injection ----
+  /// Fires the named crash point when the injector decides this visit dies.
+  void crash_point(fault::CrashPoint p) {
+    if (fault_ != nullptr && fault_->visit(p)) throw fault::CrashSignal{};
+  }
+  /// Wraps an entry point (message delivery, timer callback, submit): a
+  /// CrashSignal unwinding out of `f` stops the node and reports the crash.
+  /// Zero overhead when no injector is attached; nested guards don't catch,
+  /// so the unwind always reaches the outermost entry point.
+  template <typename F>
+  void with_crash_guard(F&& f) {
+    if (fault_ == nullptr || guard_depth_ > 0) {
+      f();
+      return;
+    }
+    ++guard_depth_;
+    struct Depth {
+      int& d;
+      ~Depth() { --d; }
+    } depth{guard_depth_};
+    try {
+      f();
+    } catch (const fault::CrashSignal&) {
+      stop();
+      if (on_crash_) on_crash_(id_);
+    }
+  }
 
   /// Everything the leader tracks per follower, in one dense vector parallel
   /// to peers_ (slot i describes peers_[i]). Replaces six node-keyed
@@ -218,6 +294,8 @@ class RaftNode {
   NodeId id_;
   std::vector<NodeId> peers_;
   std::vector<int> peer_slot_;  ///< NodeId -> index into peers_/peer_state_
+  std::vector<std::uint8_t> peer_learner_;  ///< slot-parallel to peers_: 1 = learner
+  std::vector<NodeId> founding_peers_;      ///< construction-time peer set (trial reset)
   sim::Simulator* sim_;
   net::Network* net_;
   RaftConfig config_;
@@ -244,6 +322,17 @@ class RaftNode {
   bool running_ = false;
   bool paused_ = false;
 
+  // ---- Membership state ----
+  bool self_learner_ = false;        ///< this node is a non-voting learner
+  bool left_ = false;                ///< a committed Remove for this node applied
+  bool membership_changed_ = false;  ///< any config entry applied this trial
+  LogIndex pending_config_ = 0;      ///< index of the in-flight change (leader)
+
+  // ---- Fault injection ----
+  fault::Injector* fault_ = nullptr;
+  std::function<void(NodeId)> on_crash_;
+  int guard_depth_ = 0;
+
   // Election timing.
   sim::Timer election_timer_;
   Duration randomized_timeout_{};
@@ -266,6 +355,10 @@ class RaftNode {
   std::vector<PeerState> peer_state_;
   std::unique_ptr<sim::Timer> broadcast_timer_;  // broadcast mode
   bool flush_scheduled_ = false;
+  /// The pending flush event (valid iff flush_scheduled_). stop() must cancel
+  /// it: a crash can destroy this node while the event is in flight, and the
+  /// lambda captures `this`.
+  sim::EventId flush_event_ = sim::kInvalidEvent;
   std::vector<LogIndex> match_scratch_;  ///< maybe_advance_commit, reused
 
   // ---- Group commit (leader only; config_.group_commit) ----

@@ -27,6 +27,10 @@ class Observer {
   /// `leader` won the election for `term` and assumed leadership.
   virtual void on_leader_established(NodeId /*leader*/, Term /*term*/, TimePoint /*when*/) {}
 
+  /// The node (re)started: volatile state is gone, applies restart from the
+  /// node's snapshot floor. Lets checkers rewind per-node watermarks.
+  virtual void on_node_started(NodeId /*node*/, TimePoint /*when*/) {}
+
   virtual void on_entry_committed(NodeId /*node*/, const LogEntry& /*entry*/,
                                   TimePoint /*when*/) {}
 

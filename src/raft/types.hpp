@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -33,14 +34,34 @@ enum class Role : std::uint8_t {
   return "?";
 }
 
+/// Single-server membership change carried inside a log entry. Applied when
+/// the entry commits (apply-on-commit); one change may be in flight per
+/// leader reign. Application is idempotent set arithmetic, so a restarted
+/// node replaying its committed suffix converges to the same membership.
+enum class ConfigChange : std::uint8_t {
+  None = 0,
+  AddVoter,    ///< target joins (or is promoted to) the voter set
+  AddLearner,  ///< target joins as a non-voting learner (replicated, no vote)
+  Promote,     ///< learner target becomes a voter
+  Remove,      ///< target leaves the membership entirely
+};
+
 /// A client command as Raft sees it: opaque payload plus routing metadata so
 /// the leader can answer the submitting client once the entry applies.
+/// Entries with `config_change != None` are membership changes: the payload
+/// stays empty and the apply hook is bypassed in favor of the node's own
+/// configuration machinery.
 struct Command {
   std::string payload;            ///< state-machine-specific serialization
   NodeId client = kNoNode;        ///< network endpoint to answer (if any)
   std::uint64_t client_seq = 0;   ///< client-chosen id echoed in the response
+  ConfigChange config_change = ConfigChange::None;
+  NodeId config_target = kNoNode;
 
-  [[nodiscard]] bool is_noop() const noexcept { return payload.empty(); }
+  [[nodiscard]] bool is_noop() const noexcept {
+    return payload.empty() && config_change == ConfigChange::None;
+  }
+  [[nodiscard]] bool is_config() const noexcept { return config_change != ConfigChange::None; }
 
   friend bool operator==(const Command&, const Command&) = default;
 };
@@ -61,6 +82,11 @@ struct Snapshot {
   LogIndex last_index = 0;
   Term last_term = 0;
   std::string data;  ///< state-machine-specific serialization
+  /// Membership as of `last_index`, recorded (sorted) only once a config
+  /// change has been applied; both empty means "founding membership" and
+  /// keeps pre-churn snapshots byte-compatible with the legacy layout.
+  std::vector<NodeId> voters;
+  std::vector<NodeId> learners;
 
   friend bool operator==(const Snapshot&, const Snapshot&) = default;
 };

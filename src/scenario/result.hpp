@@ -97,6 +97,11 @@ struct ScenarioResult {
   double ots_seconds = 0.0;        ///< leaderless sample-seconds (paper's OTS shading)
   double sim_seconds = 0.0;        ///< total simulated time at run end
 
+  // ---- Safety / fault engine (always recorded; all zero when faults are off) ----
+  std::uint64_t invariant_violations = 0;  ///< InvariantChecker count at run end
+  std::uint64_t crash_firings = 0;         ///< crash-point firings across all servers
+  std::size_t membership_rounds = 0;       ///< churn rounds completed (FaultPlan::churn)
+
   friend bool operator==(const ScenarioResult&, const ScenarioResult&) = default;
 };
 

@@ -58,6 +58,8 @@ cluster::ClusterConfig build_config(const ScenarioSpec& spec, std::size_t server
   cfg.durable_log = spec.durable_log;
   cfg.perf_cost = spec.perf_cost;
   cfg.perf_bin = spec.perf_bin;
+  cfg.fault = spec.faults.crash_points;
+  if (cfg.fault) cfg.durable_log = true;  // felled nodes must be able to recover
   return cfg;
 }
 
@@ -281,9 +283,29 @@ void cut_nodes(net::Network& net, const std::vector<NodeId>& nodes, bool blocked
   }
 }
 
-/// Schedule the plan's symmetric partition windows relative to now (the
-/// measurement start). Endpoints registered after a window begins (e.g. a
-/// client built mid-window) are not retroactively cut.
+/// Directionally (un)cut `nodes` from every other registered endpoint:
+/// inbound blocks traffic *toward* the listed nodes, outbound traffic *from*
+/// them. Members keep reaching each other, as in the symmetric case.
+void cut_nodes_directed(net::Network& net, const std::vector<NodeId>& nodes, bool inbound,
+                        bool outbound, bool blocked) {
+  const auto n = static_cast<NodeId>(net.node_count());
+  std::vector<char> inside(static_cast<std::size_t>(n), 0);
+  for (const NodeId id : nodes) {
+    DYNA_EXPECTS(id >= 0 && id < n);
+    inside[static_cast<std::size_t>(id)] = 1;
+  }
+  for (const NodeId a : nodes) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (inside[static_cast<std::size_t>(b)] != 0) continue;
+      if (outbound) net.set_blocked(a, b, blocked);
+      if (inbound) net.set_blocked(b, a, blocked);
+    }
+  }
+}
+
+/// Schedule the plan's partition windows (symmetric and directed) relative
+/// to now (the measurement start). Endpoints registered after a window
+/// begins (e.g. a client built mid-window) are not retroactively cut.
 void schedule_partition_windows(sim::Simulator& sim, net::Network& net,
                                 const FaultPlan& plan) {
   for (const auto& w : plan.partition_windows) {
@@ -293,6 +315,75 @@ void schedule_partition_windows(sim::Simulator& sim, net::Network& net,
     sim.schedule_after(w.start + w.duration,
                        [&net, nodes = w.nodes] { cut_nodes(net, nodes, false); });
   }
+  for (const auto& w : plan.asym_windows) {
+    if (w.nodes.empty() || w.duration <= Duration{0}) continue;
+    if (!w.block_inbound && !w.block_outbound) continue;
+    sim.schedule_after(w.start, [&net, nodes = w.nodes, in = w.block_inbound,
+                                 out = w.block_outbound] {
+      cut_nodes_directed(net, nodes, in, out, true);
+    });
+    sim.schedule_after(w.start + w.duration, [&net, nodes = w.nodes, in = w.block_inbound,
+                                              out = w.block_outbound] {
+      cut_nodes_directed(net, nodes, in, out, false);
+    });
+  }
+}
+
+// ---- Rolling restarts / membership churn ------------------------------------------
+
+/// Staggered crash/restart sweep over the live servers: each round crashes
+/// every server in id order, `stagger` apart, each down for `down_time`.
+/// Coexists with crash-point injection — both sides' crash/restart guards
+/// make the overlapping case (injector fells a server the sweep is about to
+/// touch, or vice versa) a deterministic no-op.
+void run_rolling_restarts(cluster::Cluster& c, const FaultPlan& plan) {
+  const FaultPlan::RollingRestart& r = *plan.rolling;
+  for (std::size_t round = 0; round < r.rounds; ++round) {
+    for (const NodeId id : c.server_ids()) {
+      if (c.node_if_alive(id) != nullptr) c.crash(id);
+      c.sim().run_for(r.down_time);
+      if (c.node_if_alive(id) == nullptr) c.restart(id);
+      c.sim().run_for(r.stagger - r.down_time);
+    }
+  }
+}
+
+/// One churn round: provision a fresh server, join it as a learner, promote
+/// it to voter, then remove a non-leader voter and tear it down — net size
+/// unchanged, identity rotated. Returns rounds fully completed (a round that
+/// cannot commit its config change within max_wait aborts the loop; the
+/// invariant audit still runs over whatever membership resulted).
+std::size_t run_membership_churn(cluster::Cluster& c, const FaultPlan& plan) {
+  const FaultPlan::MembershipChurn& mc = *plan.churn;
+  std::size_t completed = 0;
+  for (std::size_t round = 0; round < mc.rounds; ++round) {
+    if (!c.await_leader(mc.max_wait)) break;
+
+    const NodeId joiner = c.add_server(/*as_learner=*/true);
+    const auto add = c.propose_config_change(raft::ConfigChange::AddLearner, joiner);
+    if (!add || !c.await_applied(*add, mc.max_wait)) break;
+    c.sim().run_for(mc.settle);  // learner catch-up
+
+    const auto promote = c.propose_config_change(raft::ConfigChange::Promote, joiner);
+    if (!promote || !c.await_applied(*promote, mc.max_wait)) break;
+    c.sim().run_for(mc.settle);
+
+    const NodeId leader = c.current_leader();
+    NodeId victim = kNoNode;
+    for (const NodeId id : c.server_ids()) {
+      if (id != leader && id != joiner) {
+        victim = id;
+        break;
+      }
+    }
+    if (victim == kNoNode) break;
+    const auto remove = c.propose_config_change(raft::ConfigChange::Remove, victim);
+    if (!remove || !c.await_applied(*remove, mc.max_wait)) break;
+    c.sim().run_for(mc.settle);
+    c.finalize_removal(victim);
+    ++completed;
+  }
+  return completed;
 }
 
 }  // namespace
@@ -325,6 +416,8 @@ std::unique_ptr<shard::ShardedCluster> ScenarioRunner::materialize_sharded(
 }
 
 ScenarioResult ScenarioRunner::run_on(cluster::Cluster& c, const ScenarioSpec& spec) {
+  spec.faults.validate(spec.servers);
+
   ScenarioResult r;
   r.scenario = spec.name;
   r.servers = spec.servers;
@@ -335,6 +428,8 @@ ScenarioResult ScenarioRunner::run_on(cluster::Cluster& c, const ScenarioSpec& s
   if (!r.leader_elected) {
     r.timer_expiries = c.probe().timeouts().size();
     r.sim_seconds = to_sec(c.sim().now());
+    r.invariant_violations = c.audit_invariants();
+    r.crash_firings = c.fault_firings();
     return r;
   }
   c.sim().run_for(spec.warmup);
@@ -366,6 +461,14 @@ ScenarioResult ScenarioRunner::run_on(cluster::Cluster& c, const ScenarioSpec& s
     r.failovers = run_failovers(c, spec.faults);
   }
 
+  if (spec.faults.rolling && spec.faults.rolling->rounds > 0) {
+    run_rolling_restarts(c, spec.faults);
+  }
+
+  if (spec.faults.churn) {
+    r.membership_rounds = run_membership_churn(c, spec.faults);
+  }
+
   if (spec.samples.duration > Duration{0}) {
     r.samples = run_samples(c, spec.samples);
     for (const auto& p : r.samples) {
@@ -376,10 +479,19 @@ ScenarioResult ScenarioRunner::run_on(cluster::Cluster& c, const ScenarioSpec& s
   r.elections = c.probe().elections_started_in(measure_start, c.sim().now());
   r.timer_expiries = c.probe().timeouts().size();
   r.sim_seconds = to_sec(c.sim().now());
+  r.invariant_violations = c.audit_invariants();
+  r.crash_firings = c.fault_firings();
   return r;
 }
 
 ScenarioResult ScenarioRunner::run_on(shard::ShardedCluster& sc, const ScenarioSpec& spec) {
+  spec.faults.validate(spec.servers);
+  if (spec.faults.churn) {
+    // Membership churn provisions fresh network endpoints, which a shared
+    // substrate's fixed tiled geometry cannot grow mid-trial.
+    throw std::runtime_error("ScenarioRunner: membership churn requires shards == 1");
+  }
+
   ScenarioResult r;
   r.scenario = spec.name;
   r.servers = spec.servers;  // per-group size; shards arrive via shard_stats
@@ -390,6 +502,8 @@ ScenarioResult ScenarioRunner::run_on(shard::ShardedCluster& sc, const ScenarioS
   if (!r.leader_elected) {
     for (std::size_t g = 0; g < sc.shards(); ++g) {
       r.timer_expiries += sc.shard(g).probe().timeouts().size();
+      r.invariant_violations += sc.shard(g).audit_invariants();
+      r.crash_firings += sc.shard(g).fault_firings();
     }
     r.sim_seconds = to_sec(sc.sim().now());
     return r;
@@ -439,6 +553,15 @@ ScenarioResult ScenarioRunner::run_on(shard::ShardedCluster& sc, const ScenarioS
     }
   }
 
+  if (spec.faults.rolling && spec.faults.rolling->rounds > 0) {
+    // Group g's sweep advances the one shared simulator, so groups take
+    // their rolling rounds in sequence — every group still sees the full
+    // schedule against live traffic from the others.
+    for (std::size_t g = 0; g < sc.shards(); ++g) {
+      run_rolling_restarts(sc.shard(g), spec.faults);
+    }
+  }
+
   if (spec.samples.duration > Duration{0}) {
     // Timeline telemetry reads group 0 (its link (base, base+1), its leader
     // pace); availability in the samples is also group 0's — per-group
@@ -470,6 +593,8 @@ ScenarioResult ScenarioRunner::run_on(shard::ShardedCluster& sc, const ScenarioS
     r.shard_stats.push_back(s);
     r.elections += s.elections;
     r.timer_expiries += s.timer_expiries;
+    r.invariant_violations += c.audit_invariants();
+    r.crash_firings += c.fault_firings();
   }
   r.sim_seconds = to_sec(now);
   return r;
@@ -545,7 +670,9 @@ class SweepExecutor {
     const std::uint64_t seed = derive_seed(plan_->master, index % plan_->seeds);
 
     const bool new_cell = slot.cell != cell_index;
-    if (new_cell) {
+    if (new_cell || sweep_->mutate != nullptr) {
+      // With a mutate hook the spec must be rebuilt from base every trial —
+      // mutations would otherwise accumulate across a worker's trial run.
       slot.spec = sweep_->base;
       slot.spec.variant = cell.variant;
       slot.spec.policy = cell.policy;
@@ -553,6 +680,7 @@ class SweepExecutor {
       slot.cell = cell_index;
     }
     slot.spec.seed = seed;
+    if (sweep_->mutate) sweep_->mutate(slot.spec, index, seed);
 
     if (!sweep_->reuse_substrate) {
       slot.cluster.reset();
@@ -563,8 +691,9 @@ class SweepExecutor {
     // the config is a pure function of (variant, size): a config_factory
     // or registry policy receives the trial seed and may legitimately
     // vary with it, so those recompile (and rebuild nodes) every trial.
-    const bool seed_dependent_config =
-        slot.spec.config_factory != nullptr || !slot.spec.policy.empty();
+    const bool seed_dependent_config = slot.spec.config_factory != nullptr ||
+                                       !slot.spec.policy.empty() ||
+                                       sweep_->mutate != nullptr;
     if (slot.spec.shards > 1) {
       if (slot.sharded == nullptr) {
         slot.sharded = ScenarioRunner::materialize_sharded(slot.spec);

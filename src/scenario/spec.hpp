@@ -12,8 +12,10 @@
 // await-leader, warm-up, kill loop, sampling loop) live behind this API now.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,7 @@
 #include "cluster/topology.hpp"
 #include "common/types.hpp"
 #include "dynatune/config.hpp"
+#include "fault/injector.hpp"
 #include "net/condition.hpp"
 #include "net/network.hpp"
 #include "shard/router.hpp"
@@ -123,6 +126,47 @@ struct FaultPlan {
   /// the kill loop (they fire during workload, kill and sample phases alike).
   std::vector<PartitionWindow> partition_windows;
 
+  /// Asymmetric partition window: the listed nodes lose one *direction* of
+  /// connectivity to everyone outside the set. block_inbound cuts traffic
+  /// toward them (they can send, nobody hears back — the classic half-open
+  /// leader), block_outbound cuts traffic from them. Both together equal a
+  /// symmetric PartitionWindow.
+  struct DirectedPartitionWindow {
+    Duration start{0};
+    Duration duration = 1s;
+    std::vector<NodeId> nodes;
+    bool block_inbound = true;
+    bool block_outbound = false;
+  };
+  std::vector<DirectedPartitionWindow> asym_windows;
+
+  /// Rolling restart sweep: `rounds` passes over the live servers, crashing
+  /// each in turn for `down_time`, successive crashes `stagger` apart.
+  /// Requires durable_log (Cluster::restart enforces it).
+  struct RollingRestart {
+    std::size_t rounds = 0;
+    Duration stagger = 3s;
+    Duration down_time = 1s;
+  };
+  std::optional<RollingRestart> rolling;
+
+  /// Probabilistic crash points compiled into RaftNode/Storage hot spots
+  /// (src/fault/injector.hpp). Compiled into the ClusterConfig by the
+  /// runner; requires durable_log so felled nodes can recover.
+  std::optional<fault::InjectorConfig> crash_points;
+
+  /// Membership churn: per round the runner provisions a fresh server, joins
+  /// it as a learner, promotes it to voter, then removes one non-leader
+  /// founding-era voter — net cluster size is unchanged, identity rotates.
+  struct MembershipChurn {
+    std::size_t rounds = 1;
+    /// Catch-up / stabilization time between steps of a round.
+    Duration settle = 2s;
+    /// Give-up horizon per config-change commit.
+    Duration max_wait = 30s;
+  };
+  std::optional<MembershipChurn> churn;
+
   [[nodiscard]] static FaultPlan leader_kills(std::size_t kills, Duration settle = 10s) {
     FaultPlan f;
     f.kills = kills;
@@ -141,6 +185,87 @@ struct FaultPlan {
     FaultPlan f;
     f.partition_windows = std::move(windows);
     return f;
+  }
+
+  [[nodiscard]] static FaultPlan asymmetric_partitions(
+      std::vector<DirectedPartitionWindow> windows) {
+    FaultPlan f;
+    f.asym_windows = std::move(windows);
+    return f;
+  }
+
+  [[nodiscard]] static FaultPlan rolling_restart(std::size_t rounds, Duration stagger = 3s,
+                                                 Duration down_time = 1s) {
+    FaultPlan f;
+    f.rolling = RollingRestart{rounds, stagger, down_time};
+    return f;
+  }
+
+  [[nodiscard]] static FaultPlan probabilistic_crashes(fault::InjectorConfig cfg) {
+    FaultPlan f;
+    f.crash_points = cfg;
+    return f;
+  }
+
+  [[nodiscard]] static FaultPlan membership_churn(std::size_t rounds, Duration settle = 2s) {
+    FaultPlan f;
+    f.churn = MembershipChurn{rounds, settle, /*max_wait=*/30s};
+    return f;
+  }
+
+  /// Reject malformed plans before a trial spends simulated hours on them.
+  /// Throws std::invalid_argument (not a contract abort — harnesses test
+  /// their schedules against this). Checks: node ids in [0, servers),
+  /// positive window durations, no two windows (symmetric or directed)
+  /// overlapping on the same node, and sane rolling-restart pacing.
+  void validate(std::size_t servers) const {
+    struct Interval {
+      NodeId node;
+      Duration start;
+      Duration end;
+    };
+    std::vector<Interval> intervals;
+    const auto add_window = [&](Duration start, Duration duration,
+                                const std::vector<NodeId>& nodes) {
+      if (duration <= Duration{0}) {
+        throw std::invalid_argument("FaultPlan: partition window duration must be > 0");
+      }
+      for (const NodeId id : nodes) {
+        if (id < 0 || static_cast<std::size_t>(id) >= servers) {
+          throw std::invalid_argument("FaultPlan: partition window names node " +
+                                      std::to_string(id) + " outside [0, " +
+                                      std::to_string(servers) + ")");
+        }
+        intervals.push_back({id, start, start + duration});
+      }
+    };
+    for (const auto& w : partition_windows) add_window(w.start, w.duration, w.nodes);
+    for (const auto& w : asym_windows) add_window(w.start, w.duration, w.nodes);
+    std::sort(intervals.begin(), intervals.end(), [](const Interval& a, const Interval& b) {
+      return a.node != b.node ? a.node < b.node : a.start < b.start;
+    });
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      const Interval& prev = intervals[i - 1];
+      const Interval& cur = intervals[i];
+      if (cur.node == prev.node && cur.start < prev.end) {
+        throw std::invalid_argument(
+            "FaultPlan: overlapping partition windows on node " + std::to_string(cur.node) +
+            " (one starts at " + std::to_string(to_ms(cur.start)) + "ms inside another)");
+      }
+    }
+    if (rolling && rolling->rounds > 0) {
+      if (rolling->stagger <= Duration{0} || rolling->down_time <= Duration{0}) {
+        throw std::invalid_argument("FaultPlan: rolling restart stagger/down_time must be > 0");
+      }
+      if (rolling->down_time > rolling->stagger) {
+        throw std::invalid_argument(
+            "FaultPlan: rolling restart down_time exceeds stagger (two servers would be "
+            "down at once; widen stagger or shorten down_time)");
+      }
+    }
+    if (churn && churn->rounds == 0) {
+      throw std::invalid_argument("FaultPlan: membership churn needs rounds >= 1");
+    }
   }
 };
 
@@ -296,6 +421,15 @@ struct SweepSpec {
   /// the reset contract (tests/test_trial_reuse.cpp); this knob exists for
   /// that very comparison and for bisecting suspected reset leaks.
   bool reuse_substrate = true;
+
+  /// Per-trial spec mutation, applied after the cell axes and trial seed are
+  /// assigned: mutate(spec, trial_index, trial_seed). This is the fuzz-soak
+  /// hook — a harness derives a different fault schedule per trial from the
+  /// trial seed while keeping enumeration order (and thus thread-count
+  /// determinism) intact. Presence forces the full-config reset path: the
+  /// spec is no longer constant within a cell, so the seed-only fast path
+  /// must not skip recompiling it.
+  std::function<void(ScenarioSpec&, std::size_t, std::uint64_t)> mutate;
 };
 
 /// The paper's single-machine testbed stall process: five 4-core containers

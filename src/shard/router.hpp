@@ -92,6 +92,15 @@ class ShardRouter {
     return leader_[shard];
   }
 
+  /// Invalidate every cached leader entry naming `node` (the node left the
+  /// cluster). A stale cache entry would seed new clients with a dead first
+  /// hop; after invalidation they fall back to the ordinary leader walk.
+  void note_removed(NodeId node) {
+    for (NodeId& cached : leader_) {
+      if (cached == node) cached = kNoNode;
+    }
+  }
+
  private:
   [[nodiscard]] static std::uint64_t hash64(std::string_view s) noexcept {
     // FNV-1a 64-bit.

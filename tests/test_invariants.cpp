@@ -1,0 +1,206 @@
+// InvariantChecker self-tests: the checker must actually fire when safety is
+// broken (forged observer events, corrupted log entries, forked terms,
+// diverged state machines) and must stay silent on healthy histories —
+// including post-restart replay, which rewinds a node's apply watermark.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "raft/invariant_checker.hpp"
+#include "test_support.hpp"
+
+namespace dyna {
+namespace {
+
+using namespace std::chrono_literals;
+using raft::InvariantChecker;
+using raft::LogEntry;
+using testutil::start_cluster;
+
+LogEntry make_entry(raft::LogIndex index, raft::Term term, std::string payload) {
+  LogEntry e;
+  e.index = index;
+  e.term = term;
+  e.command.payload = std::move(payload);
+  return e;
+}
+
+// ---- Streaming checks -------------------------------------------------------------
+
+TEST(InvariantChecker, ElectionSafetyFlagsTwoLeadersInOneTerm) {
+  InvariantChecker chk;
+  chk.on_leader_established(1, 5, TimePoint{});
+  chk.on_leader_established(1, 5, TimePoint{});  // same leader again: fine
+  EXPECT_TRUE(chk.ok());
+  chk.on_leader_established(2, 5, TimePoint{});  // forked term
+  EXPECT_FALSE(chk.ok());
+  EXPECT_EQ(chk.count(), 1u);
+  chk.on_leader_established(2, 6, TimePoint{});  // new term: fine
+  EXPECT_EQ(chk.count(), 1u);
+}
+
+TEST(InvariantChecker, MonotonicApplyFlagsRegression) {
+  InvariantChecker chk;
+  chk.on_entry_committed(1, make_entry(1, 1, "a"), TimePoint{});
+  chk.on_entry_committed(1, make_entry(2, 1, "b"), TimePoint{});
+  chk.on_entry_committed(1, make_entry(5, 2, "c"), TimePoint{});  // gap: fine
+  EXPECT_TRUE(chk.ok());
+  chk.on_entry_committed(1, make_entry(4, 2, "d"), TimePoint{});  // regression
+  EXPECT_EQ(chk.count(), 1u);
+}
+
+TEST(InvariantChecker, NodeRestartRewindsWatermarkSoReplayIsClean) {
+  InvariantChecker chk;
+  chk.on_entry_committed(1, make_entry(1, 1, "a"), TimePoint{});
+  chk.on_entry_committed(1, make_entry(2, 1, "b"), TimePoint{});
+  chk.on_node_started(1, TimePoint{});  // crash + restart: applies replay from 1
+  chk.on_entry_committed(1, make_entry(1, 1, "a"), TimePoint{});
+  chk.on_entry_committed(1, make_entry(2, 1, "b"), TimePoint{});
+  EXPECT_TRUE(chk.ok());
+}
+
+TEST(InvariantChecker, ApplyDivergenceFlagsDifferentEntryAtSameIndex) {
+  InvariantChecker chk;
+  chk.on_entry_committed(1, make_entry(3, 2, "x"), TimePoint{});
+  chk.on_entry_committed(2, make_entry(3, 2, "x"), TimePoint{});  // agrees: fine
+  EXPECT_TRUE(chk.ok());
+  chk.on_entry_committed(3, make_entry(3, 2, "y"), TimePoint{});  // payload differs
+  EXPECT_EQ(chk.count(), 1u);
+  InvariantChecker chk2;
+  chk2.on_entry_committed(1, make_entry(3, 2, "x"), TimePoint{});
+  chk2.on_entry_committed(2, make_entry(3, 4, "x"), TimePoint{});  // term differs
+  EXPECT_EQ(chk2.count(), 1u);
+}
+
+TEST(InvariantChecker, FingerprintCoversTermPayloadAndConfigChange) {
+  const LogEntry base = make_entry(1, 3, "cmd");
+  LogEntry term_diff = base;
+  term_diff.term = 4;
+  LogEntry payload_diff = base;
+  payload_diff.command.payload = "cmd2";
+  LogEntry cfg_diff = base;
+  cfg_diff.command.config_change = raft::ConfigChange::AddLearner;
+  cfg_diff.command.config_target = 7;
+  const std::uint64_t h = InvariantChecker::fingerprint(base);
+  EXPECT_NE(h, InvariantChecker::fingerprint(term_diff));
+  EXPECT_NE(h, InvariantChecker::fingerprint(payload_diff));
+  EXPECT_NE(h, InvariantChecker::fingerprint(cfg_diff));
+  EXPECT_EQ(h & 1, 1u);  // 0 is reserved for "unset"
+}
+
+// ---- End-of-trial audit helpers ---------------------------------------------------
+
+TEST(InvariantChecker, AuditLogEntryFlagsCorruptedFollowerLog) {
+  InvariantChecker chk;
+  chk.on_entry_committed(1, make_entry(4, 2, "good"), TimePoint{});
+  chk.audit_log_entry(2, make_entry(4, 2, "good"));
+  EXPECT_TRUE(chk.ok());
+  chk.audit_log_entry(3, make_entry(4, 2, "corrupt"));
+  EXPECT_EQ(chk.count(), 1u);
+}
+
+TEST(InvariantChecker, AuditLeaderCoverageFlagsTruncatedLeader) {
+  InvariantChecker chk;
+  chk.on_entry_committed(1, make_entry(10, 2, "a"), TimePoint{});
+  chk.audit_leader_coverage(2, 10);  // covers: fine
+  EXPECT_TRUE(chk.ok());
+  chk.audit_leader_coverage(2, 9);  // leader's log ends before a committed index
+  EXPECT_EQ(chk.count(), 1u);
+}
+
+TEST(InvariantChecker, AuditAppliedStateFlagsDivergedReplicas) {
+  InvariantChecker chk;
+  chk.audit_applied_state(1, 7, "state-A");
+  chk.audit_applied_state(2, 7, "state-A");
+  chk.audit_applied_state(3, 6, "state-earlier");  // different prefix: fine
+  EXPECT_TRUE(chk.ok());
+  chk.audit_applied_state(4, 7, "state-B");
+  EXPECT_EQ(chk.count(), 1u);
+}
+
+TEST(InvariantChecker, ClearResetsEverything) {
+  InvariantChecker chk;
+  chk.on_leader_established(1, 5, TimePoint{});
+  chk.on_leader_established(2, 5, TimePoint{});
+  chk.on_entry_committed(1, make_entry(1, 1, "a"), TimePoint{});
+  EXPECT_FALSE(chk.ok());
+  chk.clear();
+  EXPECT_TRUE(chk.ok());
+  EXPECT_EQ(chk.count(), 0u);
+  EXPECT_EQ(chk.max_committed(), 0u);
+  // A fresh term-5 leader claim after clear is not a violation.
+  chk.on_leader_established(3, 5, TimePoint{});
+  EXPECT_TRUE(chk.ok());
+}
+
+TEST(InvariantChecker, CountKeepsIncrementingPastStorageCap) {
+  InvariantChecker chk;
+  chk.on_entry_committed(1, make_entry(1, 1, "base"), TimePoint{});
+  for (std::size_t i = 0; i < InvariantChecker::kMaxStored + 10; ++i) {
+    chk.audit_log_entry(2, make_entry(1, 1, "corrupt" + std::to_string(i)));
+  }
+  EXPECT_EQ(chk.count(), InvariantChecker::kMaxStored + 10);
+  EXPECT_EQ(chk.violations().size(), InvariantChecker::kMaxStored);
+}
+
+// ---- Cluster integration ----------------------------------------------------------
+
+TEST(InvariantCluster, HealthyTrialAuditsClean) {
+  auto c = start_cluster(cluster::make_raft_config(5, 17));
+  for (int i = 0; i < 30; ++i) {
+    const NodeId leader = c->current_leader();
+    ASSERT_NE(leader, kNoNode);
+    raft::Command cmd;
+    cmd.payload = "put k" + std::to_string(i) + " v";
+    (void)c->node(leader).submit(std::move(cmd));
+    c->sim().run_for(50ms);
+  }
+  c->sim().run_for(2s);
+  EXPECT_GT(c->checker().max_committed(), 0u);
+  EXPECT_EQ(c->audit_invariants(), 0u);
+  EXPECT_TRUE(c->checker().ok());
+}
+
+TEST(InvariantCluster, AuditCatchesForgedDivergenceOnRealHistory) {
+  // Take a real committed history, then audit a tampered copy of one entry —
+  // the end-of-trial sweep must flag it against the streaming commit table.
+  auto c = start_cluster(cluster::make_raft_config(3, 23));
+  const NodeId leader = c->current_leader();
+  ASSERT_NE(leader, kNoNode);
+  raft::Command cmd;
+  cmd.payload = "put key value";
+  const auto idx = c->node(leader).submit(std::move(cmd));
+  ASSERT_TRUE(idx.has_value());
+  c->sim().run_for(2s);
+  ASSERT_GE(c->checker().max_committed(), *idx);
+
+  LogEntry tampered;
+  bool found = false;
+  c->node(leader).log().for_each(*idx, *idx, [&](const LogEntry& e) {
+    tampered = e;
+    found = true;
+  });
+  ASSERT_TRUE(found);
+  tampered.command.payload = "put key EVIL";
+  c->checker().audit_log_entry(leader, tampered);
+  EXPECT_EQ(c->checker().count(), 1u);
+
+  // The untampered cluster state still audits clean on a fresh pass.
+  c->checker().clear();
+  c->sim().run_for(500ms);
+  EXPECT_EQ(c->audit_invariants(), 0u);
+}
+
+TEST(InvariantCluster, CheckerSurvivesTrialReset) {
+  auto c = start_cluster(cluster::make_raft_config(3, 29));
+  c->checker().on_leader_established(999, 12345, TimePoint{});
+  c->checker().on_leader_established(998, 12345, TimePoint{});
+  EXPECT_FALSE(c->checker().ok());
+  c->reset(std::uint64_t{29});
+  EXPECT_TRUE(c->checker().ok()) << "reset must clear checker state between trials";
+  ASSERT_TRUE(c->await_leader(30s));
+  c->sim().run_for(1s);
+  EXPECT_EQ(c->audit_invariants(), 0u);
+}
+
+}  // namespace
+}  // namespace dyna

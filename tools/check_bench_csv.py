@@ -74,7 +74,8 @@ EXACT_COLUMNS = {"scenario", "variant", "servers", "seed", "kill", "ok", "availa
                  "mode", "phase", "ops", "log_entries", "snapshots", "replayed",
                  "max_cmds", "clients", "gets", "puts", "batches", "batched_cmds",
                  "rounds", "reads", "shards", "shard", "shard_servers", "partition",
-                 "applied", "undisturbed", "link_table_bytes", "dense_link_table_bytes"}
+                 "applied", "undisturbed", "link_table_bytes", "dense_link_table_bytes",
+                 "fault", "violations", "firings", "churn_rounds"}
 
 
 def read_csv(path):
